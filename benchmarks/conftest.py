@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs its experiment exactly once through
+``benchmark.pedantic`` (the experiments are deterministic virtual-time
+simulations — repeating them measures host CPU, not the system under
+study), prints the same rows the paper reports, and asserts the result
+*shape* (who wins, by roughly what factor, where the knees fall).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment under pytest-benchmark with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

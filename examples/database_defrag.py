@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Database scenario (the paper's Figure 10, interactively):
+
+Age an Ext4 filesystem, load a RocksDB-like LSM store whose tables land in
+fragmented free space, run zipfian YCSB-C, and defragment the hot data
+with FragPicker while the workload keeps running.
+
+Run:  python examples/database_defrag.py
+"""
+
+from repro import GIB, KIB, MIB, FragPicker, FragPickerConfig, make_device, make_filesystem
+from repro.bench.harness import corun_until_background_done
+from repro.core.report import DefragReport
+from repro.workloads import LsmConfig, LsmStore, YcsbConfig, YcsbWorkload, age_filesystem
+
+
+def main() -> None:
+    fs = make_filesystem("ext4", make_device("optane", capacity=2 * GIB))
+
+    print("aging the filesystem (Dabre-profile substitute)...")
+    aging = age_filesystem(fs, fill_fraction=0.99, delete_fraction=0.4,
+                           min_file=8 * KIB, max_file=64 * KIB, seed=1)
+    print(f"  {aging.files_created} files created, {aging.files_deleted} deleted, "
+          f"free space shredded into {aging.free_runs} runs")
+
+    print("loading the LSM store (128 KiB blocks, O_DIRECT)...")
+    store = LsmStore(fs, LsmConfig(block_size=128 * KIB))
+    workload = YcsbWorkload(store, YcsbConfig(record_count=20_000, value_size=1024))
+    now = workload.load(0.0)
+    frags = [fs.inode_of(p).fragment_count() for p in store.files()]
+    print(f"  tables: {len(frags)}, fragments per table: {frags}")
+
+    fs.drop_caches()
+    now, before = workload.run_ops(3_000, now)
+    print(f"YCSB-C before defrag: {before:,.0f} ops/s")
+
+    # Analysis while the workload runs (the eBPF window).
+    picker = FragPicker(fs, FragPickerConfig(hotness_criterion=0.5))
+    with picker.monitor(apps={"rocksdb"}) as monitor:
+        now, during_analysis = workload.run_ops(3_000, now)
+    print(f"YCSB-C during analysis: {during_analysis:,.0f} ops/s "
+          f"({(1 - during_analysis / before) * 100:.1f}% overhead)")
+
+    # Migration co-running with the workload.
+    plans = picker.analyze(monitor.records, paths=store.files())
+    report = DefragReport(tool="fragpicker")
+    fg, _bg = corun_until_background_done(
+        workload.actor(duration=float("inf")),
+        picker.actor(plans, report_out=report),
+        start=now,
+    )
+    print(f"migration took {report.elapsed:.2f}s, moved "
+          f"{report.write_bytes / MIB:.1f} MiB "
+          f"(workload ran at {fg.timeline.rate():,.0f} ops/s meanwhile)")
+
+    now, after = workload.run_ops(3_000, max(fg.now, report.finished_at))
+    print(f"YCSB-C after defrag: {after:,.0f} ops/s (+{(after / before - 1) * 100:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Device study (the paper's Section 3 / Figure 4 / Table 1):
+
+Sweep fragment size and fragment distance across the four device models
+and print the correlation statistics that motivated FragPicker's design:
+on modern storage only *request splitting* matters, not fragment distance.
+
+Run:  python examples/device_study.py
+"""
+
+from repro.bench.experiments import fig4_frag_metrics
+
+
+def main() -> None:
+    print("running the frag_size / frag_distance sweeps on all devices...\n")
+    result = fig4_frag_metrics.run()
+    print(result.figure4())
+    print("\nTable 1 (CC and NLRS vs sequential-read performance):\n")
+    print(result.table1())
+    print(
+        "\ntakeaway: every modern device's slope collapses once fragments"
+        "\nreach the 128 KiB request size, and fragment distance only"
+        "\nmatters on the HDD — so a defragmenter for modern storage only"
+        "\nneeds to eliminate request splitting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""FragPicker (SOSP 2021) reproduction.
+
+A complete, simulated modern-storage stack — device models with the
+internal mechanisms the paper analyses, a block layer with request
+splitting, Ext4/F2FS/Btrfs-flavoured filesystems — plus FragPicker itself,
+the conventional defragmenters it is compared against, and the paper's
+workloads and experiments.
+
+Quickstart::
+
+    from repro import make_device, make_filesystem, FragPicker
+    from repro.workloads import make_paper_synthetic_file, sequential_read
+
+    fs = make_filesystem("ext4", make_device("optane"))
+    now = make_paper_synthetic_file(fs, "/data", size=33 * 1024 * 1024)
+    picker = FragPicker(fs)
+    with picker.monitor(apps={"bench"}) as mon:
+        now, before = sequential_read(fs, "/data", now=now)
+    report = picker.defragment(mon.records, paths=["/data"], now=now)
+    now, after = sequential_read(fs, "/data", now=report.finished_at)
+"""
+
+from .constants import BLOCK_SIZE, GIB, KIB, MIB, READAHEAD_SIZE, STRIDE_SIZE
+from .device import make_device
+from .fs import make_filesystem, fiemap, fragment_count
+from .core import DefragReport, FragPicker, FragPickerConfig
+from .tools import btrfs_defragment, e4defrag, f2fs_defrag, make_conventional, Fstrim
+from .trace import SyscallMonitor
+from .sim import Session, run_concurrently
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLOCK_SIZE",
+    "KIB",
+    "MIB",
+    "GIB",
+    "READAHEAD_SIZE",
+    "STRIDE_SIZE",
+    "make_device",
+    "make_filesystem",
+    "fiemap",
+    "fragment_count",
+    "FragPicker",
+    "FragPickerConfig",
+    "DefragReport",
+    "e4defrag",
+    "btrfs_defragment",
+    "f2fs_defrag",
+    "make_conventional",
+    "Fstrim",
+    "SyscallMonitor",
+    "Session",
+    "run_concurrently",
+    "__version__",
+]

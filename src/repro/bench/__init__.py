@@ -1,0 +1,11 @@
+"""Experiment implementations for every table and figure in the paper.
+
+Each module in :mod:`repro.bench.experiments` reproduces one artifact and
+returns a result object with the same rows/series the paper reports; the
+``benchmarks/`` pytest suite wraps them and asserts the result *shapes*
+(who wins, by roughly what factor, where the knees fall).
+"""
+
+from .harness import Variant, VariantResult, fresh_fs, print_header
+
+__all__ = ["Variant", "VariantResult", "fresh_fs", "print_header"]

@@ -1,0 +1,1 @@
+"""One module per paper artifact (see DESIGN.md's per-experiment index)."""

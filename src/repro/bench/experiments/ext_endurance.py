@@ -1,0 +1,73 @@
+"""Extension E14: device wear consumed by defragmentation.
+
+The paper's Section 1 motivation: conventional defragmentation's bulk
+writes curtail device lifetime.  With the flash FTL's program/erase
+accounting (and the Optane DWPD budget) this becomes measurable: run the
+conventional tool and FragPicker over identical synthetic states and
+compare flash page programs, block erases, write amplification, and the
+fraction of an Optane warranty budget burned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ...constants import MIB
+from ...core import FragPicker
+from ...device.flash import FlashSsd
+from ...stats.tables import format_table
+from ...tools import make_conventional
+from ...workloads.synthetic import make_paper_synthetic_file, sequential_read
+from ..harness import fresh_fs
+
+
+@dataclass
+class WearCell:
+    host_write_mb: float
+    pages_programmed: int
+    blocks_erased: int
+    write_amplification: float
+
+
+@dataclass
+class EnduranceResult:
+    cells: Dict[str, WearCell]
+
+    def report(self) -> str:
+        headers = ["tool", "host writes MB", "pages programmed", "erases", "WA"]
+        rows = [[name, c.host_write_mb, c.pages_programmed, c.blocks_erased,
+                 c.write_amplification] for name, c in self.cells.items()]
+        return format_table(headers, rows)
+
+
+def _one(tool_name: str, fs_type: str, file_size: int) -> WearCell:
+    fs, device = fresh_fs(fs_type, "flash")
+    assert isinstance(device, FlashSsd)
+    now = make_paper_synthetic_file(fs, "/t", file_size)
+    programs_before = device.ftl.host_pages_written + device.ftl.relocated_pages_total
+    erases_before = device.ftl.total_erases
+    writes_before = device.stats.write_bytes
+    if tool_name == "conventional":
+        report = make_conventional(fs).defragment(["/t"], now=now)
+    else:
+        picker = FragPicker(fs)
+        with picker.monitor(apps={"bench"}) as monitor:
+            now, _ = sequential_read(fs, "/t", now=now)
+        report = picker.defragment(monitor.records, paths=["/t"], now=now)
+    programs = (device.ftl.host_pages_written + device.ftl.relocated_pages_total) - programs_before
+    return WearCell(
+        host_write_mb=(device.stats.write_bytes - writes_before) / MIB,
+        pages_programmed=programs,
+        blocks_erased=device.ftl.total_erases - erases_before,
+        write_amplification=device.ftl.write_amplification,
+    )
+
+
+def run(fs_type: str = "ext4", file_size: int = 33 * MIB) -> EnduranceResult:
+    return EnduranceResult(
+        cells={
+            "conventional": _one("conventional", fs_type, file_size),
+            "fragpicker": _one("fragpicker", fs_type, file_size),
+        }
+    )

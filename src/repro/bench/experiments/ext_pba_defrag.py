@@ -1,0 +1,99 @@
+"""Extension E15 (paper Section 6): device-level (PBA) fragmentation.
+
+Build a file that is perfectly contiguous in LBA space but whose pages
+were rewritten in a pattern that concentrated them on one flash channel.
+``filefrag`` (and therefore stock FragPicker) sees nothing to do, yet
+sequential reads lose the channel parallelism.  The open-channel-aware
+:class:`~repro.core.openchannel.PbaAwareFragPicker` detects the physical
+imbalance and restripes the data by rewriting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...constants import BLOCK_SIZE, GIB, MIB
+from ...core import FragPicker
+from ...core.openchannel import OpenChannelInspector, PbaAwareFragPicker
+from ...core.range_list import FileRange
+from ...device import make_device
+from ...fs import make_filesystem
+from ...workloads.synthetic import sequential_read
+
+
+@dataclass
+class PbaResult:
+    balanced_mbps: float
+    conflicted_mbps: float
+    stock_fragpicker_mbps: float
+    pba_fragpicker_mbps: float
+    stock_migrated: int
+    pba_migrated: int
+    imbalance_before: float
+    imbalance_after: float
+
+    def report(self) -> str:
+        return (
+            f"seq read balanced:            {self.balanced_mbps:7.1f} MB/s\n"
+            f"after channel concentration:  {self.conflicted_mbps:7.1f} MB/s "
+            f"(imbalance {self.imbalance_before:.1f}x)\n"
+            f"stock FragPicker (filefrag):  {self.stock_fragpicker_mbps:7.1f} MB/s "
+            f"({self.stock_migrated} ranges migrated — LBA looks clean)\n"
+            f"PBA-aware FragPicker:         {self.pba_fragpicker_mbps:7.1f} MB/s "
+            f"({self.pba_migrated} ranges migrated, imbalance {self.imbalance_after:.1f}x)"
+        )
+
+
+def _build(file_size: int):
+    device = make_device("flash", capacity=1 * GIB)
+    fs = make_filesystem("ext4", device)
+    handle = fs.open("/data", o_direct=True, app="setup", create=True)
+    now = fs.write(handle, 0, file_size, now=0.0).finish_time
+    return fs, device, handle, now
+
+
+def _concentrate(fs, handle, file_size: int, now: float) -> float:
+    """Rewrite each page with 7 dummy pages in between: every file page
+    lands on the same flash channel (in-place LBA, out-of-place PBA)."""
+    dummy = fs.open("/dummy", o_direct=True, app="setup", create=True)
+    dummy_offset = 0
+    for offset in range(0, file_size, BLOCK_SIZE):
+        now = fs.write(handle, offset, BLOCK_SIZE, now=now).finish_time
+        now = fs.write(dummy, dummy_offset, 7 * BLOCK_SIZE, now=now).finish_time
+        dummy_offset += 7 * BLOCK_SIZE
+    return now
+
+
+def run(file_size: int = 8 * MIB) -> PbaResult:
+    # balanced baseline
+    fs, device, handle, now = _build(file_size)
+    now, balanced = sequential_read(fs, "/data", now=now)
+    inspector = OpenChannelInspector(device)
+    now = _concentrate(fs, handle, file_size, now)
+    imbalance_before = inspector.imbalance(fs, "/data", FileRange(0, file_size))
+    now, conflicted = sequential_read(fs, "/data", now=now)
+
+    # stock FragPicker: filefrag sees a contiguous file, migrates nothing
+    stock = FragPicker(fs)
+    stock_report = stock.defragment_bypass(["/data"], now=now)
+    now, stock_mbps = sequential_read(fs, "/data", now=stock_report.finished_at)
+
+    # PBA-aware FragPicker on an identically rebuilt state
+    fs2, device2, handle2, now2 = _build(file_size)
+    now2 = _concentrate(fs2, handle2, file_size, now2)
+    pba = PbaAwareFragPicker(fs2)
+    pba_report = pba.defragment(plans=pba.bypass_plans(["/data"]), now=now2)
+    inspector2 = OpenChannelInspector(device2)
+    imbalance_after = inspector2.imbalance(fs2, "/data", FileRange(0, file_size))
+    now2, pba_mbps = sequential_read(fs2, "/data", now=pba_report.finished_at)
+
+    return PbaResult(
+        balanced_mbps=balanced,
+        conflicted_mbps=conflicted,
+        stock_fragpicker_mbps=stock_mbps,
+        pba_fragpicker_mbps=pba_mbps,
+        stock_migrated=stock_report.ranges_migrated,
+        pba_migrated=pba_report.ranges_migrated,
+        imbalance_before=imbalance_before,
+        imbalance_after=imbalance_after,
+    )

@@ -1,0 +1,88 @@
+"""Extension E16 (paper Section 2.4): defragmentation as a routine.
+
+Fragmentation recurs within days, so defragmentation is scheduled daily or
+weekly in practice — which multiplies each tool's per-run I/O.  This
+experiment alternates a fragmenting churn workload with a defrag cycle,
+``cycles`` times, and accumulates each tool's total write traffic and the
+flash wear it causes — the compounding cost the paper's introduction warns
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ...constants import GIB, MIB
+from ...core import FragPicker
+from ...device import make_device
+from ...device.flash import FlashSsd
+from ...fs import make_filesystem
+from ...tools import e4defrag
+from ...workloads.fileserver import FileServer, FileServerConfig, grep_directory
+
+
+@dataclass
+class RoutineRun:
+    tool: str
+    per_cycle_write_mb: List[float] = field(default_factory=list)
+    total_write_mb: float = 0.0
+    pages_programmed: int = 0
+    final_grep_cost: float = 0.0
+
+
+@dataclass
+class RecurrenceResult:
+    runs: Dict[str, RoutineRun]
+
+    def report(self) -> str:
+        lines = []
+        for run in self.runs.values():
+            cycles = ", ".join(f"{w:.0f}" for w in run.per_cycle_write_mb)
+            lines.append(
+                f"{run.tool}: {run.total_write_mb:.0f} MB written over "
+                f"{len(run.per_cycle_write_mb)} cycles [{cycles}], "
+                f"{run.pages_programmed} flash pages programmed, "
+                f"final grep {run.final_grep_cost:.2f} s/GB"
+            )
+        return "\n".join(lines)
+
+
+def _one_tool(tool_name: str, cycles: int, seed: int) -> RoutineRun:
+    device = make_device("flash", capacity=2 * GIB)
+    fs = make_filesystem("ext4", device)
+    assert isinstance(device, FlashSsd)
+    server = FileServer(
+        fs,
+        FileServerConfig(file_count=20, mean_file_size=1 * MIB,
+                         churn_rounds=0, seed=seed),
+    )
+    now = server.populate(0.0)
+    run = RoutineRun(tool=tool_name)
+    pages_before = device.ftl.host_pages_written + device.ftl.relocated_pages_total
+    for cycle in range(cycles):
+        now = server._churn(cycle, now)  # the recurring fragmentation
+        if tool_name == "e4defrag":
+            report = e4defrag(fs).defragment(server.paths, now=now)
+        else:
+            picker = FragPicker(fs)
+            report = picker.defragment(plans=picker.bypass_plans(server.paths), now=now)
+        now = report.finished_at
+        run.per_cycle_write_mb.append(report.write_bytes / MIB)
+    run.total_write_mb = sum(run.per_cycle_write_mb)
+    run.pages_programmed = (
+        device.ftl.host_pages_written + device.ftl.relocated_pages_total - pages_before
+    )
+    fs.drop_caches()
+    now, grep = grep_directory(fs, server.config.directory, now)
+    run.final_grep_cost = grep.cost_per_gb
+    return run
+
+
+def run(cycles: int = 4, seed: int = 13) -> RecurrenceResult:
+    return RecurrenceResult(
+        runs={
+            "e4defrag": _one_tool("e4defrag", cycles, seed),
+            "fragpicker": _one_tool("fragpicker", cycles, seed),
+        }
+    )

@@ -1,0 +1,49 @@
+"""Section 3.3 (text-only result): sequential O_DIRECT *update* sweeps.
+
+The paper reports, without a figure, that sequential updates behave like
+reads: on Optane CC ~0.83 / NLRS ~0.0072 below 128 KiB, and on flash the
+update NLRS (~0.0016) is *smaller* than the read NLRS because flash
+allocates fresh pages across channels for updates (out-of-place) while
+Optane updates in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .fig4_frag_metrics import Fig4Result, run as run_fig4
+
+
+@dataclass
+class UpdateSweepResult:
+    reads: Fig4Result
+    updates: Fig4Result
+
+    def nlrs_before(self, result: Fig4Result, device: str) -> float:
+        return result.sweeps[device].table1_row()["nlrs_size_before"]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        out = {}
+        for device in ("flash", "optane"):
+            out[device] = {
+                "read_nlrs": self.nlrs_before(self.reads, device),
+                "update_nlrs": self.nlrs_before(self.updates, device),
+            }
+        return out
+
+    def report(self) -> str:
+        lines = []
+        for device, row in self.summary().items():
+            lines.append(
+                f"{device}: NLRS(frag_size<128K) reads={row['read_nlrs']:.6f} "
+                f"updates={row['update_nlrs']:.6f}"
+            )
+        return "\n".join(lines)
+
+
+def run(**kwargs) -> UpdateSweepResult:
+    devices = ("flash", "optane")
+    reads = run_fig4(io_kind="read", devices=devices, **kwargs)
+    updates = run_fig4(io_kind="update", devices=devices, **kwargs)
+    return UpdateSweepResult(reads=reads, updates=updates)

@@ -1,0 +1,75 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..device import make_device
+from ..device.base import StorageDevice
+from ..fs import make_filesystem
+from ..fs.base import Filesystem
+
+
+def fresh_fs(fs_type: str, device_kind: str, **fs_kwargs) -> Tuple[Filesystem, StorageDevice]:
+    """A fresh filesystem on a fresh device (every variant starts equal)."""
+    device = make_device(device_kind)
+    fs = make_filesystem(fs_type, device, **fs_kwargs)
+    return fs, device
+
+
+@dataclass
+class VariantResult:
+    """One bar of a figure: a defrag variant's performance and cost."""
+
+    name: str
+    throughput_mbps: float = 0.0
+    defrag_read_mb: float = 0.0
+    defrag_write_mb: float = 0.0
+    defrag_elapsed: float = 0.0
+    fragments_after: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Variant:
+    """Named defrag strategy applied inside an experiment."""
+
+    name: str
+    kind: str  # "original" | "conventional" | "conventional-t" | "fragpicker" | "fragpicker-b"
+    extent_threshold: Optional[int] = None
+    hotness_criterion: float = 1.0
+
+
+def print_header(title: str) -> None:
+    bar = "=" * len(title)
+    print(f"\n{bar}\n{title}\n{bar}")
+
+
+def corun_until_background_done(foreground, background, start: float = 0.0):
+    """Run ``foreground`` (an endless actor) until ``background`` finishes.
+
+    Both arguments are actor factories (``fn(ctx) -> generator``).  Returns
+    ``(foreground_ctx, background_ctx)`` — this is the Figure 2/10 pattern:
+    a workload hammered while a defragmenter works in the background.
+    """
+    from ..sim.engine import run_concurrently  # late import: avoid cycles
+
+    done = {"flag": False}
+
+    def bg(ctx):
+        for _ in background(ctx):
+            yield
+        done["flag"] = True
+
+    def fg(ctx):
+        iterator = foreground(ctx)
+        while not done["flag"]:
+            try:
+                next(iterator)
+            except StopIteration:
+                break
+            yield
+
+    contexts = run_concurrently({"foreground": fg, "background": bg}, start=start)
+    return contexts["foreground"], contexts["background"]

@@ -1,0 +1,51 @@
+"""I/O command structures.
+
+An :class:`IoCommand` corresponds to the chain ``bio -> request -> device
+command`` in Linux: it can only express one *contiguous* LBA range.  That
+restriction is what makes fragmentation expensive on modern devices — the
+paper's *request splitting*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import InvalidArgument
+
+
+class IoOp(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    DISCARD = "discard"
+
+
+@dataclass(frozen=True)
+class IoCommand:
+    """One contiguous-LBA device command.
+
+    Attributes:
+        op: read / write / discard.
+        offset: device byte address (LBA * block size).
+        length: bytes, > 0.
+        tag: origin label used by the tracer to attribute traffic
+            (e.g. ``"workload"`` vs ``"defrag"``).
+    """
+
+    op: IoOp
+    offset: int
+    length: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise InvalidArgument(f"negative device offset {self.offset}")
+        if self.length <= 0:
+            raise InvalidArgument(f"non-positive command length {self.length}")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def retagged(self, tag: str) -> "IoCommand":
+        return IoCommand(self.op, self.offset, self.length, tag)

@@ -1,0 +1,157 @@
+"""Command-line interface: run any paper experiment and print its report.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig4
+    python -m repro run fig8 --fs-type f2fs --device optane
+    python -m repro run all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+from .constants import MIB
+
+
+def _fig4():
+    from .bench.experiments import fig4_frag_metrics
+    result = fig4_frag_metrics.run()
+    return result.figure4() + "\n\n" + result.table1()
+
+
+def _sec33():
+    from .bench.experiments import sec33_update_sweep
+    return sec33_update_sweep.run().report()
+
+
+def _fig8(fs_type: str = "ext4", device: str = "optane"):
+    from .bench.experiments import synthetic_defrag
+    variants = ("original", "conv", "fragpicker", "fragpicker_b")
+    if fs_type == "btrfs":
+        variants = ("original", "conv", "conv_t", "fragpicker", "fragpicker_b")
+    return synthetic_defrag.run(fs_type, device, 33 * MIB, variants).report()
+
+
+def _fig9(fs_type: str = "ext4", device: str = "flash"):
+    return _fig8(fs_type, device)
+
+
+def _fig2():
+    from .bench.experiments import fig2_background_defrag
+    return fig2_background_defrag.run().report()
+
+
+def _fig10():
+    from .bench.experiments import fig10_ycsb_rocksdb
+    return fig10_ycsb_rocksdb.run().report()
+
+
+def _fig11(device: str = "flash"):
+    from .bench.experiments import fig11_fileserver
+    return fig11_fileserver.run(device).report()
+
+
+def _fig12():
+    from .bench.experiments import fig12_hotness
+    return fig12_hotness.run().report()
+
+
+def _sqlite():
+    from .bench.experiments import sec532_sqlite_microsd
+    return sec532_sqlite_microsd.run().report()
+
+
+def _discard():
+    from .bench.experiments import sec522_discard_cost
+    return sec522_discard_cost.run().report()
+
+
+def _splitting(device: str = "optane"):
+    from .bench.experiments import ablation_splitting
+    return ablation_splitting.run(device).report()
+
+
+def _phases():
+    from .bench.experiments import ablation_phases
+    return ablation_phases.run().report()
+
+
+def _endurance():
+    from .bench.experiments import ext_endurance
+    return ext_endurance.run().report()
+
+
+def _pba():
+    from .bench.experiments import ext_pba_defrag
+    return ext_pba_defrag.run().report()
+
+
+def _recurrence():
+    from .bench.experiments import ext_recurrence
+    return ext_recurrence.run().report()
+
+
+EXPERIMENTS: Dict[str, Dict] = {
+    "fig2": {"fn": _fig2, "help": "Figure 2: YCSB-A with background e4defrag"},
+    "fig4": {"fn": _fig4, "help": "Figure 4 + Table 1: frag size/distance sweeps"},
+    "sec33": {"fn": _sec33, "help": "Section 3.3: update sweeps"},
+    "fig8": {"fn": _fig8, "help": "Figure 8: synthetic workloads (Optane)", "fs": True, "device": True},
+    "fig9": {"fn": _fig9, "help": "Figure 9: synthetic workloads (flash)", "fs": True, "device": True},
+    "fig10": {"fn": _fig10, "help": "Figure 10: YCSB-C / LSM on aged Ext4"},
+    "fig11": {"fn": _fig11, "help": "Figure 11: fileserver grep cost", "device": True},
+    "fig12": {"fn": _fig12, "help": "Figure 12: hotness criterion sweep"},
+    "sqlite": {"fn": _sqlite, "help": "Section 5.3.2: SQLite on Btrfs/MicroSD"},
+    "discard": {"fn": _discard, "help": "Section 5.2.2: discard (fstrim) cost"},
+    "splitting": {"fn": _splitting, "help": "ablation: request splitting mechanics", "device": True},
+    "phases": {"fn": _phases, "help": "ablation: FragPicker design choices"},
+    "endurance": {"fn": _endurance, "help": "extension: flash wear per tool"},
+    "pba": {"fn": _pba, "help": "extension: open-channel PBA fragmentation"},
+    "recurrence": {"fn": _recurrence, "help": "extension: scheduled defrag routine"},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FragPicker (SOSP 2021) reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    runner.add_argument("--fs-type", default=None, choices=["ext4", "f2fs", "btrfs"])
+    runner.add_argument("--device", default=None,
+                        choices=["hdd", "microsd", "flash", "optane"])
+    return parser
+
+
+def _invoke(name: str, args) -> str:
+    spec = EXPERIMENTS[name]
+    kwargs = {}
+    if spec.get("fs") and args.fs_type:
+        kwargs["fs_type"] = args.fs_type
+    if spec.get("device") and args.device:
+        kwargs["device"] = args.device
+    return spec["fn"](**kwargs)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            print(f"{name.ljust(width)}  {EXPERIMENTS[name]['help']}")
+        return 0
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in targets:
+        print(f"=== {name}: {EXPERIMENTS[name]['help']} ===")
+        print(_invoke(name, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

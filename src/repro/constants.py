@@ -1,0 +1,44 @@
+"""Global constants shared across the simulated storage stack.
+
+All sizes are in bytes, all times in (virtual) seconds unless a name says
+otherwise.  The values mirror the defaults of the Linux I/O stack that the
+FragPicker paper builds on: 4 KiB filesystem blocks and a 128 KiB readahead
+window, which is also the request size used throughout the paper's
+evaluation.
+"""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Filesystem / device logical block size.  Every extent, allocation, and
+#: LBA in the stack is aligned to this.
+BLOCK_SIZE = 4 * KIB
+
+#: Default Linux readahead window; also the I/O request size used by the
+#: paper ("we defined the size of read requests as 128KB because it is the
+#: default readahead size in the Linux kernel").
+READAHEAD_SIZE = 128 * KIB
+
+#: Upper bound on a single block-layer request (a bio can only describe a
+#: contiguous LBA range; the splitter additionally caps length here, the
+#: Linux equivalent of ``max_sectors_kb``).
+MAX_REQUEST_SIZE = 512 * KIB
+
+#: Stride used by the paper's stride read/update synthetic workloads.
+STRIDE_SIZE = 288 * KIB
+
+
+def blocks(nbytes: int) -> int:
+    """Number of whole blocks covering ``nbytes`` (ceiling division)."""
+    return -(-nbytes // BLOCK_SIZE)
+
+
+def block_align_down(offset: int) -> int:
+    """Largest block-aligned offset <= ``offset``."""
+    return (offset // BLOCK_SIZE) * BLOCK_SIZE
+
+
+def block_align_up(offset: int) -> int:
+    """Smallest block-aligned offset >= ``offset``."""
+    return blocks(offset) * BLOCK_SIZE

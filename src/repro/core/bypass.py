@@ -1,0 +1,27 @@
+"""The bypass option (Section 4.1.4).
+
+When the administrator already knows the file will be read sequentially
+(database full scans, grep over a directory), the analysis phase is
+redundant: the readahead mechanism will turn sequential reads into
+readahead-sized requests anyway.  The bypass option therefore slices the
+file into readahead-sized ranges from offset zero — no tracing required.
+"""
+
+from __future__ import annotations
+
+from ..constants import READAHEAD_SIZE, block_align_up
+from ..fs.base import Filesystem
+from .range_list import FileRange, FileRangeList
+
+
+def bypass_range_list(
+    fs: Filesystem, path: str, readahead_size: int = READAHEAD_SIZE
+) -> FileRangeList:
+    """Readahead-sized ranges covering the whole file."""
+    inode = fs.inode_of(path)
+    end = block_align_up(inode.size)
+    ranges = [
+        FileRange(start, min(start + readahead_size, end), 1)
+        for start in range(0, end, readahead_size)
+    ]
+    return FileRangeList(ino=inode.ino, path=path, ranges=ranges)

@@ -1,0 +1,18 @@
+"""Fragmentation checking (Section 4.2.1).
+
+Before migrating a range, FragPicker asks FIEMAP whether the backing LBAs
+are already sequential — migrating contiguous data would be pure waste.
+This is the filefrag-based check: obtain the LBAs for the file range and
+test their sequentiality.
+"""
+
+from __future__ import annotations
+
+from ..fs.base import Filesystem
+from ..fs.fiemap import is_fragmented
+from .range_list import FileRange
+
+
+def range_is_fragmented(fs: Filesystem, path: str, file_range: FileRange) -> bool:
+    """True when the range's mapped blocks span discontiguous LBA runs."""
+    return is_fragmented(fs, path, file_range.start, file_range.end - file_range.start)

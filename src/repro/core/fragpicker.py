@@ -1,0 +1,243 @@
+"""FragPicker orchestration: analysis -> hotness -> check -> migrate.
+
+Typical use::
+
+    picker = FragPicker(fs, FragPickerConfig(hotness_criterion=0.5))
+    with picker.monitor(apps={"rocksdb"}) as mon:
+        run_workload()                       # observation window
+    report = picker.defragment(mon.records, paths=db_files, now=clock.now)
+
+or, when the access pattern is known to be sequential::
+
+    report = picker.defragment_bypass(paths=db_files, now=clock.now)
+
+For co-running experiments, :meth:`FragPicker.actor` returns a generator
+compatible with :func:`repro.sim.engine.run_concurrently`, yielding after
+every migrated range so foreground traffic interleaves realistically.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..constants import MIB, READAHEAD_SIZE
+from ..errors import DefragError, NoSpaceError
+from ..fs.base import Filesystem
+from ..fs.fiemap import fragment_count
+from ..trace.records import IORecord
+from ..trace.syscall_monitor import SyscallMonitor
+from .analysis import AnalysisPhase
+from .bypass import bypass_range_list
+from .frag_check import range_is_fragmented
+from .hotness import hotness_filter
+from .migration import Migrator
+from .range_list import FileRangeList
+from .recovery import MigrationJournal
+from .report import DefragReport
+
+
+@dataclass(frozen=True)
+class FragPickerConfig:
+    """Tunables (all of the paper's knobs plus ablation switches)."""
+
+    #: fraction of analysed bytes to migrate, hottest first (Section 4.1.3)
+    hotness_criterion: float = 1.0
+    #: migration I/O chunk size
+    io_size: int = 1 * MIB
+    #: readahead size imitated for buffered sequential reads
+    readahead_size: int = READAHEAD_SIZE
+    #: ablation: imitate readahead during analysis
+    imitate_readahead: bool = True
+    #: ablation: merge overlapped I/Os (Algorithm 1)
+    merge_overlaps: bool = True
+    #: ablation: FIEMAP fragmentation check before migration
+    check_fragmentation: bool = True
+    #: tag used for the tool's own I/O (tracing/accounting)
+    app: str = "fragpicker"
+
+
+class FragPicker:
+    """The defragmentation tool of the paper."""
+
+    def __init__(self, fs: Filesystem, config: FragPickerConfig = FragPickerConfig()) -> None:
+        self.fs = fs
+        self.config = config
+        #: crash-safety journal for in-place migrations (Section 4.2.2);
+        #: after an interrupted run, ``journal.recover(fs)`` replays any
+        #: punched-but-not-rewritten chunks
+        self.journal = MigrationJournal()
+        self._migrator = Migrator(
+            fs, app=config.app, io_size=config.io_size, journal=self.journal
+        )
+
+    # ------------------------------------------------------------------
+    # analysis phase
+    # ------------------------------------------------------------------
+
+    def monitor(self, apps: Optional[Iterable[str]] = None) -> SyscallMonitor:
+        """A syscall monitor to run around the observation window."""
+        return SyscallMonitor(self.fs, apps=apps)
+
+    def analyze(
+        self,
+        records: Iterable[IORecord],
+        paths: Optional[Iterable[str]] = None,
+    ) -> List[FileRangeList]:
+        """Analysis phase: trace -> per-file hot range lists."""
+        inodes = None
+        if paths is not None:
+            inodes = [self.fs.inode_of(p).ino for p in paths]
+        phase = AnalysisPhase(
+            readahead_size=self.config.readahead_size,
+            imitate_readahead=self.config.imitate_readahead,
+            merge=self.config.merge_overlaps,
+        )
+        analysed = phase.run(self.fs, records, inodes=inodes)
+        return [
+            hotness_filter(range_list, self.config.hotness_criterion)
+            for range_list in analysed.values()
+        ]
+
+    def bypass_plans(self, paths: Iterable[str]) -> List[FileRangeList]:
+        """Bypass option: sequential-read plans without any tracing."""
+        return [
+            bypass_range_list(self.fs, path, self.config.readahead_size)
+            for path in paths
+        ]
+
+    # ------------------------------------------------------------------
+    # migration phase
+    # ------------------------------------------------------------------
+
+    def defragment(
+        self,
+        records: Optional[Iterable[IORecord]] = None,
+        paths: Optional[Iterable[str]] = None,
+        plans: Optional[Sequence[FileRangeList]] = None,
+        now: float = 0.0,
+    ) -> DefragReport:
+        """Run migration for the given trace (or pre-built plans)."""
+        if plans is None:
+            if records is None:
+                raise DefragError("defragment needs records or plans")
+            plans = self.analyze(records, paths=paths)
+        self._warn_if_seek_device()
+        report = self._new_report(plans, now)
+        for plan, file_range in self._work_items(plans):
+            report.ranges_examined += 1
+            for now in self._migrate_one(plan, file_range, report, now):
+                pass
+        return self._finish_report(report, plans, now)
+
+    def defragment_bypass(self, paths: Iterable[str], now: float = 0.0) -> DefragReport:
+        """The bypass option end-to-end (FragPicker-B in the figures)."""
+        return self.defragment(plans=self.bypass_plans(paths), now=now)
+
+    def actor(self, plans: Sequence[FileRangeList], report_out: Optional[DefragReport] = None):
+        """Generator for :func:`repro.sim.engine.run_concurrently`.
+
+        Yields after each migrated range; fills ``report_out`` (or a fresh
+        report retrievable from ``gen_report`` attribute) as it goes.
+        """
+        def _run(ctx):
+            report = report_out if report_out is not None else DefragReport(tool="fragpicker")
+            started = False
+            for plan, file_range in self._work_items(plans):
+                if not started:
+                    self._start_report(report, plans, ctx.now)
+                    started = True
+                report.ranges_examined += 1
+                for t in self._migrate_one(plan, file_range, report, ctx.now):
+                    ctx.now = t
+                    yield
+            if not started:
+                self._start_report(report, plans, ctx.now)
+            self._finish_report(report, plans, ctx.now)
+        return _run
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _work_items(self, plans: Sequence[FileRangeList]):
+        for plan in plans:
+            if plan.path not in self.fs.paths:
+                continue
+            for file_range in plan.sorted_by_start():
+                yield plan, file_range
+
+    def _migrate_one(self, plan: FileRangeList, file_range, report: DefragReport, now: float):
+        """Generator: yields running time after each migration syscall."""
+        if self.config.check_fragmentation and not range_is_fragmented(
+            self.fs, plan.path, file_range
+        ):
+            report.ranges_skipped_contiguous += 1
+            yield now
+            return
+        before = self.fs.tracer.tag(self.config.app).snapshot()
+        ipu_restore = self._disable_f2fs_ipu()
+        migrated = True
+        try:
+            for now in self._migrator.migrate_range_steps(plan.path, file_range, now=now):
+                yield now
+        except NoSpaceError:
+            # Fragmented/insufficient free space: skip, like other tools
+            # would fail (Section 6 limitations).
+            report.ranges_skipped_contiguous += 1
+            migrated = False
+        finally:
+            self._restore_f2fs_ipu(ipu_restore)
+        delta = self.fs.tracer.tag(self.config.app).delta(before)
+        report.read_bytes += delta.read_bytes
+        report.write_bytes += delta.write_bytes
+        if migrated:
+            report.ranges_migrated += 1
+        yield now
+
+    def _warn_if_seek_device(self) -> None:
+        """Section 6: FragPicker ignores frag distance, so on devices with
+        seek time it can increase tail latency — the paper recommends
+        against using it there."""
+        from ..device.hdd import HddDevice  # late import: optional concern
+
+        if isinstance(self.fs.device, HddDevice):
+            warnings.warn(
+                "FragPicker ignores fragment distance; on seek-time devices "
+                "(HDDs) it can increase tail latency — the paper recommends "
+                "a conventional defragmenter instead",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _disable_f2fs_ipu(self) -> Optional[bool]:
+        """F2FS sometimes updates in place; turn that off for migration."""
+        if self.fs.fs_type == "f2fs":
+            previous = self.fs.ipu_enabled
+            self.fs.set_ipu(False)
+            return previous
+        return None
+
+    def _restore_f2fs_ipu(self, previous: Optional[bool]) -> None:
+        if previous is not None:
+            self.fs.set_ipu(previous)
+
+    def _new_report(self, plans: Sequence[FileRangeList], now: float) -> DefragReport:
+        report = DefragReport(tool="fragpicker")
+        self._start_report(report, plans, now)
+        return report
+
+    def _start_report(self, report: DefragReport, plans: Sequence[FileRangeList], now: float) -> None:
+        report.started_at = now
+        report.files_examined = len(plans)
+        for plan in plans:
+            if plan.path in self.fs.paths:
+                report.fragments_before[plan.path] = fragment_count(self.fs, plan.path)
+
+    def _finish_report(self, report: DefragReport, plans: Sequence[FileRangeList], now: float) -> DefragReport:
+        report.finished_at = now
+        for plan in plans:
+            if plan.path in self.fs.paths:
+                report.fragments_after[plan.path] = fragment_count(self.fs, plan.path)
+        return report

@@ -1,0 +1,39 @@
+"""Hotness filtering (Section 4.1.3).
+
+When applications issue skewed I/O, defragmenting cold regions buys no
+performance.  FragPicker sorts range entries by I/O count and keeps only
+the hottest ones; how much to keep — the *hotness criterion* — is the
+administrator's tunable.  The criterion here is the fraction of analysed
+bytes to keep, matching Figure 12's "top x% of hot data is migrated" axis.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import InvalidArgument
+from .range_list import FileRange, FileRangeList
+
+
+def hotness_filter(range_list: FileRangeList, criterion: float) -> FileRangeList:
+    """Keep the hottest ranges covering ``criterion`` of analysed bytes.
+
+    ``criterion`` in (0, 1]; 1.0 keeps everything.  Ranges are ranked by
+    I/O count (ties broken by file offset), and entries are kept until the
+    cumulative kept bytes reach the budget — so at least one range is
+    always kept for a non-empty list.
+    """
+    if not 0.0 < criterion <= 1.0:
+        raise InvalidArgument(f"hotness criterion {criterion} outside (0, 1]")
+    if criterion >= 1.0 or not range_list.ranges:
+        return range_list
+    budget = range_list.total_bytes * criterion
+    kept: List[FileRange] = []
+    kept_bytes = 0
+    for entry in range_list.sorted_by_hotness():
+        if kept and kept_bytes >= budget:
+            break
+        kept.append(entry)
+        kept_bytes += entry.length
+    kept.sort(key=lambda r: r.start)
+    return FileRangeList(ino=range_list.ino, path=range_list.path, ranges=kept)

@@ -1,0 +1,152 @@
+"""FragPicker's migration phase (Section 4.2.2 / 4.2.3).
+
+Out-of-place filesystems (F2FS with IPU off, Btrfs): rewriting data at the
+same file offset allocates new blocks — migration is just read + rewrite.
+
+In-place filesystems (Ext4): the blocks would be reused, so FragPicker
+buffers the data, punches the range (``fallocate`` deallocate), allocates a
+fresh contiguous area (``fallocate`` allocate), and rewrites — all under a
+file lock, with the range list retained until success so the data is
+recoverable after a crash (the paper's debugfs argument).
+
+Only generic syscalls are used: ``read``/``write``/``fallocate``/FIEMAP —
+no filesystem-internal functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from typing import Optional
+
+from ..constants import MIB, block_align_down
+from ..fs.base import FallocMode, FileHandle, Filesystem
+from .range_list import FileRange
+from .recovery import MigrationJournal
+
+
+@dataclass
+class MigrationOutcome:
+    """What migrating one range cost."""
+
+    finish_time: float
+    moved_bytes: int
+
+
+class Migrator:
+    """Executes data migration for one filesystem.
+
+    When a :class:`MigrationJournal` is supplied, every in-place migration
+    chunk is journalled before its range is deallocated, making an
+    interrupted migration recoverable (Section 4.2.2's crash-safety
+    argument).
+    """
+
+    def __init__(
+        self,
+        fs: Filesystem,
+        app: str = "fragpicker",
+        io_size: int = 1 * MIB,
+        journal: Optional[MigrationJournal] = None,
+    ) -> None:
+        self.fs = fs
+        self.app = app
+        self.io_size = io_size
+        self.journal = journal
+
+    def _out_of_place(self) -> bool:
+        """Does a plain rewrite move data on this filesystem right now?"""
+        if self.fs.fs_type == "f2fs":
+            # FragPicker disables IPU around migration; honour the knob.
+            return not getattr(self.fs, "ipu_enabled", False)
+        return not getattr(self.fs, "in_place_updates", False)
+
+    def migrate_range(self, path: str, file_range: FileRange, now: float = 0.0) -> MigrationOutcome:
+        """Move one analysed range into a contiguous area (blocking)."""
+        for now in self.migrate_range_steps(path, file_range, now):
+            pass
+        return MigrationOutcome(now, file_range.length)
+
+    def migrate_range_steps(self, path: str, file_range: FileRange, now: float = 0.0):
+        """Generator form of :meth:`migrate_range`: yields the running
+        virtual time after every syscall, so a co-running engine can
+        interleave foreground traffic at request granularity."""
+        inode = self.fs.inode_of(path)
+        start = file_range.start
+        # O_DIRECT requires block alignment; an unaligned tail block (rare:
+        # the experiments use block-sized files) is left alone — it is a
+        # single block and cannot be internally fragmented.
+        end = min(file_range.end, block_align_down(inode.size))
+        if end <= start:
+            yield now
+            return
+        original_size = inode.size
+        handle = FileHandle(self.fs, inode.ino, o_direct=True, app=self.app)
+        self.fs.lock_file(path, self.app)
+        try:
+            steps = (
+                self._rewrite(handle, start, end, now)
+                if self._out_of_place()
+                else self._punch_and_rewrite(handle, path, start, end, now)
+            )
+            for now in steps:
+                yield now
+            now = self.fs.fsync(handle, now=now).finish_time
+            yield now
+        finally:
+            self.fs.unlock_file(path, self.app)
+        if inode.size != original_size:
+            # the rewrite is block-granular; never let it extend the file
+            now = self.fs.truncate(handle, original_size, now=now).finish_time
+            yield now
+
+    # -- strategies ----------------------------------------------------------
+
+    def _rewrite(self, handle: FileHandle, start: int, end: int, now: float):
+        """Read + rewrite at the same offsets (out-of-place filesystems)."""
+        for chunk_start, chunk_len in self._chunks(start, end):
+            want_data = self.fs.page_store.any_content(handle.ino, chunk_start, chunk_len)
+            read = self.fs.read(handle, chunk_start, chunk_len, now=now, want_data=want_data)
+            now = read.finish_time
+            yield now
+            now = self.fs.write(
+                handle, chunk_start, length=chunk_len, data=read.data, now=now
+            ).finish_time
+            yield now
+
+    def _punch_and_rewrite(self, handle: FileHandle, path: str, start: int, end: int, now: float):
+        """Buffer, deallocate, reallocate contiguously, rewrite (Ext4 path)."""
+        for chunk_start, chunk_len in self._chunks(start, end):
+            # 1. buffer the data (the paper's "internal buffer")
+            want_data = self.fs.page_store.any_content(handle.ino, chunk_start, chunk_len)
+            read = self.fs.read(handle, chunk_start, chunk_len, now=now, want_data=want_data)
+            now = read.finish_time
+            yield now
+            # journal the chunk before touching the mapping: a crash
+            # between punch and rewrite stays recoverable
+            token = None
+            if self.journal is not None:
+                token = self.journal.record(path, handle.ino, chunk_start, chunk_len, read.data)
+            # 2. deallocate the old, scattered blocks
+            now = self.fs.fallocate(
+                handle, FallocMode.PUNCH_HOLE, chunk_start, chunk_len, now=now
+            ).finish_time
+            # 3. allocate a fresh contiguous area
+            now = self.fs.fallocate(
+                handle, FallocMode.ALLOCATE, chunk_start, chunk_len, now=now
+            ).finish_time
+            # 4. rewrite the buffered data into it
+            now = self.fs.write(
+                handle, chunk_start, length=chunk_len, data=read.data, now=now
+            ).finish_time
+            if token is not None:
+                self.journal.commit(token)
+            yield now
+
+    def _chunks(self, start: int, end: int):
+        pos = start
+        while pos < end:
+            take = min(self.io_size, end - pos)
+            yield pos, take
+            pos += take

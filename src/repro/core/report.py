@@ -1,0 +1,51 @@
+"""Defragmentation run reports.
+
+Every tool (FragPicker and the conventional baselines) produces a
+:class:`DefragReport` with the quantities the paper's evaluation tables
+track: elapsed (virtual) time, read/write bytes issued by the tool, ranges
+examined/migrated/skipped, and fragment counts before/after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..constants import MIB
+
+
+@dataclass
+class DefragReport:
+    """Outcome of one defragmentation run."""
+
+    tool: str
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    ranges_examined: int = 0
+    ranges_migrated: int = 0
+    ranges_skipped_contiguous: int = 0
+    ranges_skipped_cold: int = 0
+    files_examined: int = 0
+    fragments_before: Dict[str, int] = field(default_factory=dict)
+    fragments_after: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def total_io_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    def summary(self) -> str:
+        before = sum(self.fragments_before.values())
+        after = sum(self.fragments_after.values())
+        return (
+            f"{self.tool}: {self.elapsed:.3f}s, "
+            f"read {self.read_bytes / MIB:.1f} MiB, write {self.write_bytes / MIB:.1f} MiB, "
+            f"migrated {self.ranges_migrated}/{self.ranges_examined} ranges "
+            f"({self.ranges_skipped_contiguous} contiguous, {self.ranges_skipped_cold} cold), "
+            f"fragments {before} -> {after}"
+        )

@@ -1,0 +1,36 @@
+"""Analytic models of the four storage devices from the paper's Table 2.
+
+Each model exposes the internal mechanism the paper's Section 3 identifies
+as the device's fragmentation sensitivity:
+
+- :class:`~repro.device.hdd.HddDevice` — seek time (distance-sensitive).
+- :class:`~repro.device.microsd.MicroSdDevice` — no command queuing +
+  demand-based mapping cache.
+- :class:`~repro.device.flash.FlashSsd` — channel parallelism with an
+  out-of-place page-mapping FTL (updates stripe over channels, reads go to
+  wherever the FTL put the page).
+- :class:`~repro.device.optane.OptaneSsd` — in-place updates over
+  address-interleaved banks, latency low enough that host per-request
+  overheads dominate.
+"""
+
+from .base import BatchResult, DeviceStats, StorageDevice
+from .hdd import HddDevice
+from .microsd import MicroSdDevice
+from .flash import FlashSsd
+from .ftl import PageMappingFtl
+from .optane import OptaneSsd
+from .factory import make_device, DEVICE_PRESETS
+
+__all__ = [
+    "BatchResult",
+    "DeviceStats",
+    "StorageDevice",
+    "HddDevice",
+    "MicroSdDevice",
+    "FlashSsd",
+    "PageMappingFtl",
+    "OptaneSsd",
+    "make_device",
+    "DEVICE_PRESETS",
+]

@@ -1,0 +1,205 @@
+"""Storage device base class.
+
+A device receives a *batch* of commands — all the commands one system call
+was split into, submitted together — and returns when the batch completes.
+Synchronous syscall semantics (the caller resumes only when every split
+request finishes, Section 2.2 of the paper) fall out of batch completion.
+
+Timing model (three resource classes):
+
+- **controller** — command processing is serial (the in-storage CPU the
+  paper says request splitting overloads).  Every command pays a dispatch
+  cost on a single controller timeline.
+- **internal units** — banks/channels execute media work in parallel; each
+  unit has its own busy timeline.  Queuing devices (NCQ/NVMe) therefore
+  overlap commands from *different* submitters too — a co-running
+  defragmenter and a foreground workload share the device realistically.
+  Non-queuing devices (MicroSD, HDD) expose a single unit, so everything
+  serializes, which is exactly their fragmentation pathology.
+- **link** — host interface transfer is serial per byte (SATA/PCIe cap).
+
+Subclasses describe each command via :meth:`_plan_command`; the base class
+does the timeline bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..block.request import IoCommand, IoOp
+from ..errors import DeviceError
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative device-side counters (the blktrace/iotop view)."""
+
+    read_bytes: int = 0
+    write_bytes: int = 0
+    discard_bytes: int = 0
+    read_commands: int = 0
+    write_commands: int = 0
+    discard_commands: int = 0
+    busy_time: float = 0.0   # summed media work (can exceed wall time)
+
+    def account(self, command: IoCommand) -> None:
+        if command.op is IoOp.READ:
+            self.read_bytes += command.length
+            self.read_commands += 1
+        elif command.op is IoOp.WRITE:
+            self.write_bytes += command.length
+            self.write_commands += 1
+        else:
+            self.discard_bytes += command.length
+            self.discard_commands += 1
+
+    @property
+    def total_commands(self) -> int:
+        return self.read_commands + self.write_commands + self.discard_commands
+
+    def snapshot(self) -> "DeviceStats":
+        return DeviceStats(
+            self.read_bytes,
+            self.write_bytes,
+            self.discard_bytes,
+            self.read_commands,
+            self.write_commands,
+            self.discard_commands,
+            self.busy_time,
+        )
+
+    def delta(self, earlier: "DeviceStats") -> "DeviceStats":
+        return DeviceStats(
+            self.read_bytes - earlier.read_bytes,
+            self.write_bytes - earlier.write_bytes,
+            self.discard_bytes - earlier.discard_bytes,
+            self.read_commands - earlier.read_commands,
+            self.write_commands - earlier.write_commands,
+            self.discard_commands - earlier.discard_commands,
+            self.busy_time - earlier.busy_time,
+        )
+
+
+@dataclass(frozen=True)
+class CommandPlan:
+    """How one command uses the device's resources.
+
+    Attributes:
+        controller_time: serial dispatch cost.
+        unit_work: (unit id, media time) pairs; units run in parallel
+            with each other, serially within themselves.
+        link_bytes: bytes crossing the host interface.
+    """
+
+    controller_time: float
+    unit_work: Tuple[Tuple[int, float], ...] = ()
+    link_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of submitting one command batch."""
+
+    start_time: float
+    finish_time: float
+    service_time: float   # summed media work of the batch
+    commands: int
+
+    @property
+    def latency(self) -> float:
+        return self.finish_time - self.start_time
+
+
+class StorageDevice(abc.ABC):
+    """Abstract analytic storage device."""
+
+    #: Whether the device accepts multiple outstanding commands (NCQ/NVMe
+    #: queues).  MicroSD/eMMC-class devices do not (Section 2.2).
+    supports_queuing: bool = True
+
+    #: Host interface rate, bytes/sec (None = never the bottleneck).
+    link_rate: float = None
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise DeviceError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.stats = DeviceStats()
+        self._controller_free = 0.0
+        self._link_free = 0.0
+        self._unit_free: Dict[int, float] = {}
+        self._listeners: List = []
+
+    # -- timeline queries --------------------------------------------------
+
+    @property
+    def busy_until(self) -> float:
+        """Latest time any resource is committed (informational)."""
+        unit_max = max(self._unit_free.values(), default=0.0)
+        return max(self._controller_free, self._link_free, unit_max)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, commands: Sequence[IoCommand], start_time: float = 0.0) -> BatchResult:
+        """Process a batch of commands issued together at ``start_time``."""
+        if not commands:
+            return BatchResult(start_time, start_time, 0.0, 0)
+        for command in commands:
+            if command.end > self.capacity:
+                raise DeviceError(
+                    f"{self.name}: command [{command.offset}, {command.end}) "
+                    f"beyond capacity {self.capacity}"
+                )
+        if not self.supports_queuing:
+            # one command at a time: the whole batch serializes behind
+            # whatever the device is already doing
+            controller = max(start_time, self.busy_until)
+        else:
+            controller = max(start_time, self._controller_free)
+        batch_finish = start_time
+        batch_work = 0.0
+        for command in commands:
+            plan = self._plan_command(command)
+            dispatched = controller + plan.controller_time
+            controller = dispatched
+            command_finish = dispatched
+            for unit, media_time in plan.unit_work:
+                unit_start = max(dispatched, self._unit_free.get(unit, 0.0))
+                unit_end = unit_start + media_time
+                self._unit_free[unit] = unit_end
+                batch_work += media_time
+                command_finish = max(command_finish, unit_end)
+            if plan.link_bytes and self.link_rate:
+                link_time = plan.link_bytes / self.link_rate
+                link_start = max(dispatched, self._link_free)
+                link_end = link_start + link_time
+                self._link_free = link_end
+                command_finish = max(command_finish, link_end)
+            batch_finish = max(batch_finish, command_finish)
+            self.stats.account(command)
+            batch_work += plan.controller_time
+        self._controller_free = controller
+        if not self.supports_queuing:
+            # hold every resource until the batch drains
+            self._controller_free = batch_finish
+        self.stats.busy_time += batch_work
+        for listener in self._listeners:
+            listener(commands, start_time, batch_finish)
+        return BatchResult(start_time, batch_finish, batch_work, len(commands))
+
+    def add_listener(self, listener) -> None:
+        """Register ``fn(commands, start, finish)`` (used by tracing)."""
+        self._listeners.append(listener)
+
+    # -- hooks -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def _plan_command(self, command: IoCommand) -> CommandPlan:
+        """Describe how one command uses controller/units/link."""
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable parameter summary (for reports)."""
+        return {"name": self.name, "capacity": self.capacity}

@@ -1,0 +1,223 @@
+"""Page-mapping flash translation layer.
+
+Implements the flash behaviour the paper leans on in Sections 2.2/3.3:
+
+- **Out-of-place updates**: every host write allocates fresh flash pages,
+  striped round-robin across channels in arrival order, and invalidates the
+  old mapping.  This is why *update* workloads on flash are less sensitive
+  to fragmentation than reads — new pages spread over channels regardless
+  of LBA contiguity.
+- **Read channel affinity**: a read goes to whichever channel the page was
+  written on, so a file whose pages were written interleaved with other
+  traffic can concentrate on few channels (channel conflicts).
+- **Garbage collection & wear**: greedy victim selection, valid-page
+  relocation, per-block erase counting.  Defragmentation write traffic
+  consumes program/erase cycles — the lifetime argument of Section 1 — and
+  the wear counters make that measurable (benchmark E14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import DeviceError
+
+
+@dataclass
+class EraseBlock:
+    """One flash erase block: an append-only list of page slots."""
+
+    channel: int
+    pages: List[Optional[int]] = field(default_factory=list)
+    valid_count: int = 0
+    erase_count: int = 0
+
+    def is_full(self, pages_per_block: int) -> bool:
+        return len(self.pages) >= pages_per_block
+
+
+@dataclass
+class FtlWriteResult:
+    """Channel load and GC work produced by one logical write."""
+
+    pages_per_channel: Dict[int, int]
+    relocated_pages: int
+    erased_blocks: int
+
+
+class PageMappingFtl:
+    """Page-level logical-to-physical mapping with greedy GC."""
+
+    def __init__(
+        self,
+        logical_pages: int,
+        channels: int = 8,
+        pages_per_block: int = 256,
+        overprovision: float = 0.07,
+        gc_free_block_threshold: int = 2,
+    ) -> None:
+        if channels <= 0 or pages_per_block <= 0:
+            raise DeviceError("channels and pages_per_block must be positive")
+        self.logical_pages = logical_pages
+        self.channels = channels
+        self.pages_per_block = pages_per_block
+        physical_pages = int(logical_pages * (1.0 + overprovision))
+        per_channel_blocks = max(
+            gc_free_block_threshold + 2,
+            -(-physical_pages // (pages_per_block * channels)),
+        )
+        self.blocks_per_channel = per_channel_blocks
+        self.gc_free_block_threshold = gc_free_block_threshold
+        #: lpn -> (EraseBlock, slot index)
+        self.mapping: Dict[int, Tuple[EraseBlock, int]] = {}
+        self._active: List[Optional[EraseBlock]] = [None] * channels
+        self._sealed: List[List[EraseBlock]] = [[] for _ in range(channels)]
+        self._free_pool: List[List[EraseBlock]] = [[] for _ in range(channels)]
+        self._created_blocks = [0] * channels
+        self._next_channel = 0
+        self.total_erases = 0
+        self.host_pages_written = 0
+        self.relocated_pages_total = 0
+
+    # -- mapping queries -------------------------------------------------
+
+    def channel_of(self, lpn: int) -> int:
+        """Channel a read of ``lpn`` lands on.
+
+        Unwritten logical pages behave as if the drive were pre-filled
+        sequentially (address-striped).
+        """
+        entry = self.mapping.get(lpn)
+        if entry is None:
+            return lpn % self.channels
+        return entry[0].channel
+
+    @property
+    def write_amplification(self) -> float:
+        if self.host_pages_written == 0:
+            return 1.0
+        return (self.host_pages_written + self.relocated_pages_total) / self.host_pages_written
+
+    # -- block lifecycle -------------------------------------------------
+
+    def _take_free_block(self, channel: int) -> Optional[EraseBlock]:
+        if self._free_pool[channel]:
+            return self._free_pool[channel].pop()
+        if self._created_blocks[channel] < self.blocks_per_channel:
+            self._created_blocks[channel] += 1
+            return EraseBlock(channel)
+        return None
+
+    def _free_blocks_available(self, channel: int) -> int:
+        return len(self._free_pool[channel]) + (
+            self.blocks_per_channel - self._created_blocks[channel]
+        )
+
+    def _activate(self, channel: int) -> EraseBlock:
+        block = self._take_free_block(channel)
+        if block is None:
+            raise DeviceError(f"flash channel {channel} out of space (GC failed)")
+        self._active[channel] = block
+        return block
+
+    # -- program path ----------------------------------------------------
+
+    def _program(self, channel: int, lpn: int) -> None:
+        """Append one page on ``channel`` and update the mapping."""
+        old = self.mapping.get(lpn)
+        if old is not None:
+            old_block, slot = old
+            old_block.pages[slot] = None
+            old_block.valid_count -= 1
+        block = self._active[channel]
+        if block is None or block.is_full(self.pages_per_block):
+            if block is not None:
+                self._sealed[channel].append(block)
+            block = self._activate(channel)
+        block.pages.append(lpn)
+        block.valid_count += 1
+        self.mapping[lpn] = (block, len(block.pages) - 1)
+
+    def write(self, lpns: List[int]) -> FtlWriteResult:
+        """Host write of the given logical pages (out-of-place, striped)."""
+        per_channel: Dict[int, int] = {}
+        relocated = 0
+        erased = 0
+        for lpn in lpns:
+            if lpn >= self.logical_pages:
+                raise DeviceError(f"lpn {lpn} beyond logical capacity")
+            channel = self._next_channel
+            self._next_channel = (self._next_channel + 1) % self.channels
+            r, e = self._maybe_gc(channel)
+            relocated += r
+            erased += e
+            self._program(channel, lpn)
+            per_channel[channel] = per_channel.get(channel, 0) + 1
+            self.host_pages_written += 1
+        return FtlWriteResult(per_channel, relocated, erased)
+
+    def invalidate(self, lpns: List[int]) -> int:
+        """Discard: drop mappings, freeing the pages for GC.  Returns count."""
+        dropped = 0
+        for lpn in lpns:
+            entry = self.mapping.pop(lpn, None)
+            if entry is not None:
+                block, slot = entry
+                block.pages[slot] = None
+                block.valid_count -= 1
+                dropped += 1
+        return dropped
+
+    # -- garbage collection ----------------------------------------------
+
+    def _maybe_gc(self, channel: int) -> Tuple[int, int]:
+        relocated = 0
+        erased = 0
+        while self._free_blocks_available(channel) < self.gc_free_block_threshold:
+            victim = self._pick_victim(channel)
+            if victim is None:
+                break
+            relocated += self._collect(victim)
+            erased += 1
+        return relocated, erased
+
+    def _pick_victim(self, channel: int) -> Optional[EraseBlock]:
+        sealed = self._sealed[channel]
+        if not sealed:
+            return None
+        best_idx = min(range(len(sealed)), key=lambda i: sealed[i].valid_count)
+        if sealed[best_idx].valid_count >= self.pages_per_block:
+            return None  # nothing reclaimable
+        return sealed.pop(best_idx)
+
+    def _collect(self, victim: EraseBlock) -> int:
+        """Relocate valid pages out of ``victim`` and erase it."""
+        moved = 0
+        for slot, lpn in enumerate(victim.pages):
+            if lpn is None:
+                continue
+            victim.pages[slot] = None
+            victim.valid_count -= 1
+            # Relocations stay on the victim's channel (intra-channel copyback).
+            self._program_relocation(victim.channel, lpn)
+            moved += 1
+        victim.pages = []
+        victim.erase_count += 1
+        self.total_erases += 1
+        self.relocated_pages_total += moved
+        self._free_pool[victim.channel].append(victim)
+        return moved
+
+    def _program_relocation(self, channel: int, lpn: int) -> None:
+        block = self._active[channel]
+        if block is None or block.is_full(self.pages_per_block):
+            if block is not None:
+                self._sealed[channel].append(block)
+            block = self._take_free_block(channel)
+            if block is None:
+                raise DeviceError(f"flash channel {channel} wedged during GC")
+            self._active[channel] = block
+        block.pages.append(lpn)
+        block.valid_count += 1
+        self.mapping[lpn] = (block, len(block.pages) - 1)

@@ -1,0 +1,77 @@
+"""Hard disk drive model.
+
+The only device in the paper whose performance depends on *where* data is:
+every discontiguous access pays a seek (distance-dependent head movement)
+plus average rotational latency.  Fragment distance therefore hurts, and
+fragment size keeps helping even beyond the request size because fewer
+fragments mean fewer seeks per byte (Section 3.1).
+
+The disk is a single mechanical unit with no command queuing: all work
+serializes on one timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..block.request import IoCommand, IoOp
+from ..constants import GIB
+from .base import CommandPlan, StorageDevice
+
+
+@dataclass(frozen=True)
+class HddParams:
+    """7200 RPM SATA-disk flavoured parameters."""
+
+    #: Minimum (track-to-track) seek time.
+    seek_min: float = 0.0003
+    #: Full-stroke seek time.
+    seek_max: float = 0.012
+    #: Seek-vs-distance profile exponent.  Short and medium seeks dominate
+    #: fragmented access; a quarter-power profile keeps the curve steep in
+    #: that regime (classic disk models use sqrt for long seeks only).
+    seek_exponent: float = 0.25
+    #: Average rotational latency (half a revolution at 7200 RPM).
+    rotational_latency: float = 0.00416
+    #: Media transfer rate, bytes/sec.
+    transfer_rate: float = 180e6
+    #: Per-command controller overhead.
+    command_overhead: float = 0.00005
+
+
+class HddDevice(StorageDevice):
+    """Serial-command disk with a moving head."""
+
+    supports_queuing = False
+
+    def __init__(self, capacity: int = 64 * GIB, params: HddParams = HddParams(), name: str = "hdd") -> None:
+        super().__init__(name, capacity)
+        self.params = params
+        self.head_position = 0
+
+    def seek_time(self, distance: int) -> float:
+        """Head movement time for a byte distance (power-law profile)."""
+        if distance <= 0:
+            return 0.0
+        frac = min(1.0, distance / self.capacity)
+        span = self.params.seek_max - self.params.seek_min
+        return self.params.seek_min + span * frac ** self.params.seek_exponent
+
+    def _plan_command(self, command: IoCommand) -> CommandPlan:
+        if command.op is IoOp.DISCARD:
+            # TRIM is a metadata operation; negligible mechanical work.
+            return CommandPlan(controller_time=self.params.command_overhead)
+        mechanical = 0.0
+        distance = abs(command.offset - self.head_position)
+        if distance > 0:
+            mechanical += self.seek_time(distance) + self.params.rotational_latency
+        mechanical += command.length / self.params.transfer_rate
+        self.head_position = command.end
+        return CommandPlan(
+            controller_time=self.params.command_overhead,
+            unit_work=((0, mechanical),),
+        )
+
+    def describe(self):
+        info = super().describe()
+        info.update(kind="hdd", transfer_rate=self.params.transfer_rate)
+        return info

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class DeviceError(ReproError):
+    """A storage-device model was used incorrectly (bad LBA, overflow...)."""
+
+
+class FilesystemError(ReproError):
+    """Generic filesystem failure."""
+
+
+class NoSpaceError(FilesystemError):
+    """Allocation failed: no free space (or no suitable contiguous run)."""
+
+
+class FileNotFound(FilesystemError):
+    """Path or inode does not exist."""
+
+
+class FileExists(FilesystemError):
+    """Attempt to create a path that already exists."""
+
+
+class InvalidArgument(ReproError):
+    """A caller passed an out-of-range or misaligned argument."""
+
+
+class FileLocked(FilesystemError):
+    """The file is locked by another holder (FragPicker migration lock)."""
+
+
+class DefragError(ReproError):
+    """A defragmentation tool could not complete."""

@@ -1,0 +1,45 @@
+"""Simulated filesystems: Ext4-, F2FS-, and Btrfs-flavoured personalities.
+
+Everything FragPicker needs from a real filesystem is implemented here with
+the same contracts as Linux:
+
+- extent maps queryable via FIEMAP (:mod:`repro.fs.fiemap`),
+- ``fallocate`` allocate / punch-hole,
+- a page cache with 128 KiB readahead for buffered I/O, bypassed by
+  O_DIRECT,
+- per-personality update policy: Ext4 updates in place, F2FS appends to a
+  log (with an IPU sysfs knob), Btrfs copies on write.
+"""
+
+from .extent_map import Extent, ExtentMap
+from .free_space import FreeSpaceManager
+from .inode import Inode
+from .page_cache import PageCache
+from .readahead import ReadaheadState
+from .base import Filesystem, FileHandle, SyscallResult, FallocMode
+from .ext4 import Ext4
+from .f2fs import F2fs
+from .btrfs import Btrfs
+from .fiemap import fiemap, fragment_count, FiemapExtent
+from .mount import make_filesystem, FS_TYPES
+
+__all__ = [
+    "Extent",
+    "ExtentMap",
+    "FreeSpaceManager",
+    "Inode",
+    "PageCache",
+    "ReadaheadState",
+    "Filesystem",
+    "FileHandle",
+    "SyscallResult",
+    "FallocMode",
+    "Ext4",
+    "F2fs",
+    "Btrfs",
+    "fiemap",
+    "fragment_count",
+    "FiemapExtent",
+    "make_filesystem",
+    "FS_TYPES",
+]

@@ -1,0 +1,608 @@
+"""The filesystem base class and its syscall surface.
+
+This is the VFS + generic-filesystem layer of the stack.  It owns:
+
+- the namespace (paths, inodes) and per-file extent maps,
+- the page cache and readahead for buffered I/O, bypassed by O_DIRECT,
+- ``fallocate`` (allocate / punch-hole) with Linux's block-alignment
+  semantics,
+- syscall monitoring hooks — the attachment point for the eBPF-style
+  tracer FragPicker uses,
+- journaled metadata write accounting.
+
+Subclasses (:class:`~repro.fs.ext4.Ext4`, :class:`~repro.fs.f2fs.F2fs`,
+:class:`~repro.fs.btrfs.Btrfs`) only decide *where writes land*: in place,
+at the log head, or copy-on-write.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..block.request import IoCommand, IoOp
+from ..block.scheduler import BlockScheduler, SubmitResult
+from ..block.splitter import split_ranges
+from ..block.tracer import BlockTracer
+from ..constants import (
+    BLOCK_SIZE,
+    MIB,
+    block_align_down,
+    block_align_up,
+)
+from ..device.base import StorageDevice
+from ..errors import (
+    FileExists,
+    FileLocked,
+    FileNotFound,
+    FilesystemError,
+    InvalidArgument,
+)
+from .extent_map import Extent
+from .free_space import FreeSpaceManager
+from .inode import Inode, PageStore
+from .page_cache import PageCache
+from .readahead import ReadaheadState
+
+
+class FallocMode(enum.Enum):
+    ALLOCATE = "allocate"
+    PUNCH_HOLE = "punch_hole"
+
+
+@dataclass(frozen=True)
+class SyscallEvent:
+    """What the syscall-layer monitor (eBPF equivalent) observes."""
+
+    op: str            # "read" | "write"
+    app: str
+    ino: int
+    path: str
+    offset: int
+    size: int
+    o_direct: bool
+    time: float
+
+
+@dataclass(frozen=True)
+class SyscallResult:
+    """Outcome of one syscall."""
+
+    finish_time: float
+    latency: float
+    requests: int          # block-layer commands this call generated
+    bytes_transferred: int
+    data: Optional[bytes] = None
+
+
+class FileHandle:
+    """An open file descriptor."""
+
+    def __init__(self, fs: "Filesystem", ino: int, o_direct: bool, app: str) -> None:
+        self.fs = fs
+        self.ino = ino
+        self.o_direct = o_direct
+        self.app = app
+        self.readahead = ReadaheadState()
+
+    @property
+    def path(self) -> str:
+        return self.fs.inode(self.ino).path
+
+    @property
+    def size(self) -> int:
+        return self.fs.inode(self.ino).size
+
+
+@dataclass(frozen=True)
+class FsCosts:
+    """Host-side CPU cost knobs."""
+
+    syscall_overhead: float = 0.0000015
+    memcpy_rate: float = 6e9          # page-cache copy, bytes/sec
+    journal_record_bytes: int = 8192  # one metadata transaction
+    #: per-syscall cost of one attached eBPF probe (the paper measured the
+    #: analysis phase at <2% overhead on Optane)
+    monitor_overhead: float = 0.0000012
+
+
+class Filesystem(abc.ABC):
+    """Abstract filesystem over one device."""
+
+    #: filesystem type name ("ext4" / "f2fs" / "btrfs")
+    fs_type: str = "abstract"
+
+    def __init__(
+        self,
+        device: StorageDevice,
+        kernel_overhead_per_request: float = 0.000003,
+        page_cache_pages: int = 1 << 20,
+        journaling: bool = True,
+        metadata_region: int = 64 * MIB,
+        costs: FsCosts = FsCosts(),
+        tracer: Optional[BlockTracer] = None,
+    ) -> None:
+        self.device = device
+        self.scheduler = BlockScheduler(
+            device, kernel_overhead_per_request, tracer=tracer
+        )
+        self.tracer = self.scheduler.tracer
+        if metadata_region >= device.capacity:
+            raise InvalidArgument("metadata region exceeds device capacity")
+        self.metadata_region = metadata_region
+        self.free_space = FreeSpaceManager(metadata_region, block_align_down(device.capacity))
+        self.page_store = PageStore()
+        self.page_cache = PageCache(page_cache_pages)
+        self.journaling = journaling
+        self.costs = costs
+        self.inodes: Dict[int, Inode] = {}
+        self.paths: Dict[str, int] = {}
+        self._next_ino = 1
+        self._journal_head = 0
+        self._meta_dirty = False
+        self._monitors: List[Callable[[SyscallEvent], None]] = []
+        #: sysfs-like tunables (e.g. F2FS's inplace-update policy knob)
+        self.sysfs: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+
+    def create(self, path: str) -> Inode:
+        """Create an empty file."""
+        if path in self.paths:
+            raise FileExists(path)
+        ino = self._next_ino
+        self._next_ino += 1
+        inode = Inode(ino=ino, path=path)
+        self.inodes[ino] = inode
+        self.paths[path] = ino
+        return inode
+
+    def open(self, path: str, o_direct: bool = False, app: str = "app", create: bool = False) -> FileHandle:
+        if path not in self.paths:
+            if not create:
+                raise FileNotFound(path)
+            self.create(path)
+        return FileHandle(self, self.paths[path], o_direct, app)
+
+    def exists(self, path: str) -> bool:
+        return path in self.paths
+
+    def inode(self, ino: int) -> Inode:
+        try:
+            return self.inodes[ino]
+        except KeyError:
+            raise FileNotFound(f"inode {ino}") from None
+
+    def inode_of(self, path: str) -> Inode:
+        try:
+            return self.inodes[self.paths[path]]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def listdir(self, prefix: str) -> List[str]:
+        """All file paths under a directory prefix, sorted."""
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(p for p in self.paths if p.startswith(prefix))
+
+    def unlink(self, path: str, now: float = 0.0) -> SyscallResult:
+        """Delete a file, returning its blocks to the free pool."""
+        inode = self.inode_of(path)
+        for extent in inode.extent_map.extents():
+            self.free_space.free(extent.disk_offset, extent.length)
+        self.page_store.drop(inode.ino)
+        self.page_cache.invalidate_inode(inode.ino)
+        del self.paths[path]
+        del self.inodes[inode.ino]
+        self._meta_dirty = True
+        finish = now + self.costs.syscall_overhead
+        return SyscallResult(finish, finish - now, 0, 0)
+
+    # ------------------------------------------------------------------
+    # monitoring (the eBPF/BCC attachment point)
+    # ------------------------------------------------------------------
+
+    def attach_monitor(self, probe: Callable[[SyscallEvent], None]) -> None:
+        self._monitors.append(probe)
+
+    def detach_monitor(self, probe: Callable[[SyscallEvent], None]) -> None:
+        self._monitors.remove(probe)
+
+    def _emit(self, event: SyscallEvent) -> None:
+        for probe in self._monitors:
+            probe(event)
+
+    @property
+    def _probe_cost(self) -> float:
+        """Extra syscall latency while eBPF probes are attached."""
+        return self.costs.monitor_overhead * len(self._monitors)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def read(
+        self,
+        handle: FileHandle,
+        offset: int,
+        length: int,
+        now: float = 0.0,
+        want_data: bool = False,
+    ) -> SyscallResult:
+        """``pread(2)``: buffered (with readahead) or O_DIRECT."""
+        inode = self.inode(handle.ino)
+        length = max(0, min(length, inode.size - offset))
+        self._emit(
+            SyscallEvent("read", handle.app, inode.ino, inode.path, offset, length, handle.o_direct, now)
+        )
+        if length == 0:
+            finish = now + self.costs.syscall_overhead
+            return SyscallResult(finish, finish - now, 0, 0, b"" if want_data else None)
+        entry_time = now
+        now += self._probe_cost
+        if handle.o_direct:
+            result = self._read_direct(handle, inode, offset, length, now)
+        else:
+            result = self._read_buffered(handle, inode, offset, length, now)
+        data = self.page_store.read(inode.ino, offset, length) if want_data else None
+        return SyscallResult(
+            result.finish_time,
+            result.finish_time - entry_time,
+            result.requests,
+            result.bytes_transferred,
+            data,
+        )
+
+    def _read_direct(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float) -> SyscallResult:
+        if offset % BLOCK_SIZE or length % BLOCK_SIZE:
+            # Linux O_DIRECT requires logical-block alignment.
+            raise InvalidArgument(f"O_DIRECT read misaligned: offset={offset} length={length}")
+        ranges = inode.extent_map.disk_ranges(offset, length)
+        commands = split_ranges(IoOp.READ, ranges, tag=handle.app)
+        submit = self.scheduler.submit(commands, now)
+        finish = max(submit.finish_time, now) + self.costs.syscall_overhead
+        return SyscallResult(finish, finish - now, submit.commands, length)
+
+    def _read_buffered(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float) -> SyscallResult:
+        plan = handle.readahead.plan(offset, length, inode.size)
+        first_page = plan.fetch_start // BLOCK_SIZE
+        last_page = max(first_page, (plan.fetch_end - 1) // BLOCK_SIZE)
+        missing: List[int] = []
+        for page in range(first_page, last_page + 1):
+            if not self.page_cache.probe((inode.ino, page)):
+                missing.append(page)
+        requests = 0
+        finish = now
+        if missing:
+            ranges: List[Tuple[int, int]] = []
+            for run_start, run_len in _page_runs(missing):
+                ranges.extend(
+                    inode.extent_map.disk_ranges(run_start * BLOCK_SIZE, run_len * BLOCK_SIZE)
+                )
+            commands = split_ranges(IoOp.READ, ranges, tag=handle.app)
+            submit = self.scheduler.submit(commands, now)
+            requests = submit.commands
+            finish = max(finish, submit.finish_time)
+            evicted = self.page_cache.fill((inode.ino, page) for page in missing)
+            if evicted:
+                finish = self._writeback_pages(evicted, finish).finish_time
+        copy_time = length / self.costs.memcpy_rate
+        finish += copy_time + self.costs.syscall_overhead
+        return SyscallResult(finish, finish - now, requests, length)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def write(
+        self,
+        handle: FileHandle,
+        offset: int,
+        length: int = None,
+        data: Optional[bytes] = None,
+        now: float = 0.0,
+    ) -> SyscallResult:
+        """``pwrite(2)``.  Pass ``data`` for content-bearing writes or just
+        ``length`` for bulk workloads whose bytes don't matter."""
+        if data is not None:
+            length = len(data)
+        if length is None or length <= 0:
+            raise InvalidArgument("write needs data or a positive length")
+        inode = self.inode(handle.ino)
+        self._check_lock(inode, handle.app)
+        self._emit(
+            SyscallEvent("write", handle.app, inode.ino, inode.path, offset, length, handle.o_direct, now)
+        )
+        if data is not None:
+            self.page_store.write(inode.ino, offset, data)
+        inode.size = max(inode.size, offset + length)
+        entry_time = now
+        now += self._probe_cost
+        if handle.o_direct:
+            result = self._write_direct(handle, inode, offset, length, now)
+        else:
+            result = self._write_buffered(handle, inode, offset, length, now)
+        return SyscallResult(
+            result.finish_time,
+            result.finish_time - entry_time,
+            result.requests,
+            result.bytes_transferred,
+        )
+
+    def _write_direct(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float) -> SyscallResult:
+        if offset % BLOCK_SIZE or length % BLOCK_SIZE:
+            raise InvalidArgument(f"O_DIRECT write misaligned: offset={offset} length={length}")
+        ranges = self._allocate_write(inode, offset, length)
+        self._meta_dirty = True
+        commands = split_ranges(IoOp.WRITE, ranges, tag=handle.app)
+        submit = self.scheduler.submit(commands, now)
+        finish = max(submit.finish_time, now) + self.costs.syscall_overhead
+        return SyscallResult(finish, finish - now, submit.commands, length)
+
+    def _write_buffered(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float) -> SyscallResult:
+        first = offset // BLOCK_SIZE
+        last = (offset + length - 1) // BLOCK_SIZE
+        evicted = self.page_cache.mark_dirty((inode.ino, page) for page in range(first, last + 1))
+        finish = now + length / self.costs.memcpy_rate + self.costs.syscall_overhead
+        if evicted:
+            finish = self._writeback_pages(evicted, finish).finish_time
+        return SyscallResult(finish, finish - now, 0, length)
+
+    def fsync(self, handle: FileHandle, now: float = 0.0) -> SyscallResult:
+        """Flush this inode's dirty pages (delayed allocation happens
+        here) and commit metadata."""
+        inode = self.inode(handle.ino)
+        dirty = self.page_cache.dirty_pages(inode.ino)
+        requests = 0
+        finish = now
+        if dirty:
+            submit = self._writeback_pages([(inode.ino, page) for page in dirty], now, tag=handle.app)
+            requests += submit.commands
+            finish = submit.finish_time
+        meta = self._commit_metadata(finish, tag="meta")
+        requests += meta.commands
+        finish = max(finish, meta.finish_time) + self.costs.syscall_overhead
+        return SyscallResult(finish, finish - now, requests, len(dirty) * BLOCK_SIZE)
+
+    def sync(self, now: float = 0.0) -> SyscallResult:
+        """Flush everything (sync(2))."""
+        finish = now
+        requests = 0
+        for ino in list(self.inodes):
+            dirty = self.page_cache.dirty_pages(ino)
+            if not dirty:
+                continue
+            submit = self._writeback_pages([(ino, page) for page in dirty], finish)
+            requests += submit.commands
+            finish = submit.finish_time
+        meta = self._commit_metadata(finish, tag="meta")
+        finish = max(finish, meta.finish_time)
+        return SyscallResult(finish, finish - now, requests + meta.commands, 0)
+
+    def _writeback_pages(self, keys: Sequence[Tuple[int, int]], now: float, tag: str = "writeback") -> SubmitResult:
+        """Write dirty pages out, allocating blocks as needed."""
+        by_ino: Dict[int, List[int]] = {}
+        for ino, page in keys:
+            by_ino.setdefault(ino, []).append(page)
+        commands: List[IoCommand] = []
+        for ino, pages in by_ino.items():
+            inode = self.inodes.get(ino)
+            if inode is None:
+                continue  # unlinked while dirty
+            pages.sort()
+            for run_start, run_len in _page_runs(pages):
+                ranges = self._allocate_write(inode, run_start * BLOCK_SIZE, run_len * BLOCK_SIZE)
+                commands.extend(split_ranges(IoOp.WRITE, ranges, tag=tag))
+            self._meta_dirty = True
+            self.page_cache.clean(ino, pages)
+        return self.scheduler.submit(commands, now)
+
+    # ------------------------------------------------------------------
+    # fallocate
+    # ------------------------------------------------------------------
+
+    def fallocate(
+        self,
+        handle: FileHandle,
+        mode: FallocMode,
+        offset: int,
+        length: int,
+        now: float = 0.0,
+    ) -> SyscallResult:
+        """``fallocate(2)``: pre-allocate blocks or punch a hole.
+
+        Punching zeroes any non-block-aligned head/tail (Linux semantics —
+        the data-loss hazard FragPicker's block alignment avoids) and
+        deallocates whole blocks.
+        """
+        if length <= 0:
+            raise InvalidArgument("fallocate length must be positive")
+        inode = self.inode(handle.ino)
+        self._check_lock(inode, handle.app)
+        if mode is FallocMode.PUNCH_HOLE:
+            self._punch_hole(inode, offset, length)
+        else:
+            self._allocate_range(inode, offset, length)
+        self._meta_dirty = True
+        finish = now + self.costs.syscall_overhead
+        return SyscallResult(finish, finish - now, 0, 0)
+
+    def _punch_hole(self, inode: Inode, offset: int, length: int) -> None:
+        end = offset + length
+        aligned_start = block_align_up(offset)
+        aligned_end = block_align_down(end)
+        # zero unaligned edges (content only; blocks stay mapped)
+        if offset < aligned_start:
+            self.page_store.zero_range(inode.ino, offset, min(aligned_start, end) - offset)
+        if aligned_end < end and aligned_end >= aligned_start:
+            self.page_store.zero_range(inode.ino, aligned_end, end - aligned_end)
+        if aligned_end <= aligned_start:
+            return
+        removed = inode.extent_map.punch(aligned_start, aligned_end - aligned_start)
+        for extent in removed:
+            self.free_space.free(extent.disk_offset, extent.length)
+        # a hole reads back as zeros
+        self.page_store.zero_range(inode.ino, aligned_start, aligned_end - aligned_start)
+        # punched pages must not be written back later
+        self.page_cache.clean(
+            inode.ino, range(aligned_start // BLOCK_SIZE, aligned_end // BLOCK_SIZE)
+        )
+
+    def _allocate_range(self, inode: Inode, offset: int, length: int) -> None:
+        """Back every hole in the range with blocks, contiguous-best."""
+        start = block_align_down(offset)
+        end = block_align_up(offset + length)
+        holes = inode.extent_map.holes(start, end - start)
+        if not holes:
+            return
+        goal = self._goal_for(inode, start)
+        total = sum(h_len for _, h_len in holes)
+        if len(holes) == 1 and holes[0] == (start, end - start):
+            # Whole range unmapped: honour the contiguity contract as hard
+            # as the allocator can (FragPicker relies on this).
+            runs = self.free_space.alloc(total, goal=goal)
+            pos = start
+            for run_start, run_len in runs:
+                inode.extent_map.insert(Extent(pos, run_start, run_len))
+                pos += run_len
+            inode.size = max(inode.size, offset + length)
+            return
+        for hole_start, hole_len in holes:
+            runs = self.free_space.alloc(hole_len, goal=goal)
+            pos = hole_start
+            for run_start, run_len in runs:
+                inode.extent_map.insert(Extent(pos, run_start, run_len))
+                pos += run_len
+        inode.size = max(inode.size, offset + length)
+
+    def drop_caches(self) -> int:
+        """``echo 3 > /proc/sys/vm/drop_caches``: evict clean page cache.
+
+        Benchmarks use this between setup and measurement so buffered reads
+        actually hit storage.  Dirty pages survive (sync first).
+        """
+        return self.page_cache.drop_clean()
+
+    def truncate(self, handle: FileHandle, size: int, now: float = 0.0) -> SyscallResult:
+        """``ftruncate(2)``: grow (hole) or shrink (free tail blocks)."""
+        if size < 0:
+            raise InvalidArgument("negative truncate size")
+        inode = self.inode(handle.ino)
+        self._check_lock(inode, handle.app)
+        if size < inode.size:
+            tail_start = block_align_up(size)
+            tail_len = block_align_up(inode.size) - tail_start
+            if tail_len > 0:
+                removed = inode.extent_map.punch(tail_start, tail_len)
+                for extent in removed:
+                    self.free_space.free(extent.disk_offset, extent.length)
+                self.page_cache.clean(
+                    inode.ino, range(tail_start // BLOCK_SIZE, (tail_start + tail_len) // BLOCK_SIZE)
+                )
+            self.page_store.zero_range(inode.ino, size, max(0, inode.size - size))
+        inode.size = size
+        self._meta_dirty = True
+        finish = now + self.costs.syscall_overhead
+        return SyscallResult(finish, finish - now, 0, 0)
+
+    # ------------------------------------------------------------------
+    # locking (FragPicker's migration guard)
+    # ------------------------------------------------------------------
+
+    def lock_file(self, path: str, holder: str) -> None:
+        inode = self.inode_of(path)
+        if inode.lock_holder is not None and inode.lock_holder != holder:
+            raise FileLocked(f"{path} locked by {inode.lock_holder}")
+        inode.lock_holder = holder
+
+    def unlock_file(self, path: str, holder: str) -> None:
+        inode = self.inode_of(path)
+        if inode.lock_holder != holder:
+            raise FileLocked(f"{path} not locked by {holder}")
+        inode.lock_holder = None
+
+    @staticmethod
+    def _check_lock(inode: Inode, app: str) -> None:
+        if inode.lock_holder is not None and inode.lock_holder != app:
+            raise FileLocked(f"{inode.path} locked by {inode.lock_holder}")
+
+    # ------------------------------------------------------------------
+    # metadata journal
+    # ------------------------------------------------------------------
+
+    def _commit_metadata(self, now: float, tag: str) -> SubmitResult:
+        """Commit pending metadata (one journal/checkpoint transaction).
+
+        Metadata-dirtying syscalls only *flag* the journal (jbd2 batches
+        transactions); the write happens here, at fsync/sync time.
+        """
+        if not self.journaling or not self._meta_dirty:
+            return SubmitResult(now, 0.0, 0, 0.0, 0.0)
+        self._meta_dirty = False
+        record = self.costs.journal_record_bytes
+        offset = self._journal_head
+        if offset + record > self.metadata_region:
+            offset = 0
+        self._journal_head = offset + record
+        command = IoCommand(IoOp.WRITE, offset, record, tag)
+        return self.scheduler.submit([command], now)
+
+    # ------------------------------------------------------------------
+    # personality hook
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _allocate_write(self, inode: Inode, offset: int, length: int) -> List[Tuple[int, int]]:
+        """Decide where ``[offset, offset+length)`` lands on disk.
+
+        Must update the extent map (and free displaced blocks for
+        out-of-place policies) and return the disk ranges to write, in
+        file-offset order.  ``offset``/``length`` are block aligned.
+        """
+
+    # -- shared allocation helpers for subclasses -------------------------
+
+    def _goal_for(self, inode: Inode, file_offset: int) -> Optional[int]:
+        """Allocation goal: right after the extent preceding this offset."""
+        best = inode.extent_map.preceding(file_offset)
+        return best.disk_end if best is not None else None
+
+    def _map_new_blocks(self, inode: Inode, offset: int, length: int, goal: Optional[int]) -> List[Tuple[int, int]]:
+        """Allocate fresh blocks for the range, free displaced ones."""
+        runs = self.free_space.alloc(length, goal=goal)
+        ranges: List[Tuple[int, int]] = []
+        pos = offset
+        for run_start, run_len in runs:
+            displaced = inode.extent_map.insert(Extent(pos, run_start, run_len))
+            for old in displaced:
+                self.free_space.free(old.disk_offset, old.length)
+            ranges.append((run_start, run_len))
+            pos += run_len
+        return ranges
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "fs_type": self.fs_type,
+            "device": self.device.name,
+            "files": len(self.inodes),
+            "free_bytes": self.free_space.free_bytes,
+        }
+
+
+def _page_runs(pages: Sequence[int]) -> List[Tuple[int, int]]:
+    """Group sorted page indices into (start, run_length) runs."""
+    runs: List[Tuple[int, int]] = []
+    for page in pages:
+        if runs and runs[-1][0] + runs[-1][1] == page:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((page, 1))
+    return runs

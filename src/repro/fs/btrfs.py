@@ -1,0 +1,34 @@
+"""Btrfs-flavoured filesystem: copy-on-write updates.
+
+Every write — new data or update — allocates fresh extents (first-fit with
+a locality goal) and releases the old copy afterwards.  Consequently
+rewriting a file at the same offsets relocates it, and fragmentation does
+not affect *update* performance (the new blocks land wherever the
+allocator says, regardless of how the old ones were laid out) — the
+Section 5.2.1 Btrfs result.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import Filesystem
+from .inode import Inode
+
+
+class Btrfs(Filesystem):
+    """Copy-on-write personality."""
+
+    fs_type = "btrfs"
+    in_place_updates = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._last_alloc_end: int = 0
+
+    def _allocate_write(self, inode: Inode, offset: int, length: int) -> List[Tuple[int, int]]:
+        goal = self._last_alloc_end or None
+        ranges = self._map_new_blocks(inode, offset, length, goal)
+        if ranges:
+            self._last_alloc_end = ranges[-1][0] + ranges[-1][1]
+        return ranges

@@ -1,0 +1,236 @@
+"""Per-inode extent maps: file offset -> device offset.
+
+The extent map is the source of truth both for request splitting (a
+syscall's byte range maps to as many disk ranges as it crosses extent
+pieces) and for FIEMAP-based fragmentation checking.  All offsets and
+lengths are byte values aligned to ``BLOCK_SIZE``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..constants import BLOCK_SIZE
+from ..errors import InvalidArgument
+
+
+@dataclass(frozen=True)
+class Extent:
+    """One contiguous mapping: ``length`` bytes of file data at
+    ``file_offset`` living at device offset ``disk_offset``."""
+
+    file_offset: int
+    disk_offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        for value, name in (
+            (self.file_offset, "file_offset"),
+            (self.disk_offset, "disk_offset"),
+            (self.length, "length"),
+        ):
+            if value % BLOCK_SIZE != 0:
+                raise InvalidArgument(f"extent {name}={value} not block aligned")
+        if self.length <= 0:
+            raise InvalidArgument("extent length must be positive")
+        if self.file_offset < 0 or self.disk_offset < 0:
+            raise InvalidArgument("extent offsets must be non-negative")
+
+    @property
+    def file_end(self) -> int:
+        return self.file_offset + self.length
+
+    @property
+    def disk_end(self) -> int:
+        return self.disk_offset + self.length
+
+    def disk_at(self, file_offset: int) -> int:
+        """Device offset backing ``file_offset`` (must lie inside)."""
+        if not (self.file_offset <= file_offset < self.file_end):
+            raise InvalidArgument(f"{file_offset} outside {self}")
+        return self.disk_offset + (file_offset - self.file_offset)
+
+
+#: One piece of a mapped range: (disk_offset or None for a hole, length).
+MappedPiece = Tuple[Optional[int], int]
+
+
+class ExtentMap:
+    """Sorted, non-overlapping extents with hole support."""
+
+    def __init__(self) -> None:
+        self._extents: List[Extent] = []
+        self._starts: List[int] = []
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __iter__(self) -> Iterator[Extent]:
+        return iter(self._extents)
+
+    def extents(self) -> List[Extent]:
+        return list(self._extents)
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(e.length for e in self._extents)
+
+    def fragment_count(self) -> int:
+        """Number of physically discontiguous pieces (filefrag's count).
+
+        Adjacent extents that are also adjacent on disk count as one
+        fragment, mirroring how filefrag reports merged extents.
+        """
+        count = 0
+        prev: Optional[Extent] = None
+        for extent in self._extents:
+            contiguous = (
+                prev is not None
+                and prev.file_end == extent.file_offset
+                and prev.disk_end == extent.disk_offset
+            )
+            if not contiguous:
+                count += 1
+            prev = extent
+        return count
+
+    def _index_for(self, file_offset: int) -> int:
+        """Index of the first extent whose end is after ``file_offset``."""
+        idx = bisect.bisect_right(self._starts, file_offset) - 1
+        if idx >= 0 and self._extents[idx].file_end > file_offset:
+            return idx
+        return idx + 1
+
+    def map_range(self, offset: int, length: int) -> List[MappedPiece]:
+        """Resolve ``[offset, offset+length)`` to disk pieces and holes."""
+        if length <= 0:
+            return []
+        pieces: List[MappedPiece] = []
+        pos = offset
+        end = offset + length
+        idx = self._index_for(offset)
+        while pos < end:
+            if idx >= len(self._extents):
+                pieces.append((None, end - pos))
+                break
+            extent = self._extents[idx]
+            if extent.file_offset > pos:
+                gap = min(extent.file_offset, end) - pos
+                pieces.append((None, gap))
+                pos += gap
+                continue
+            take = min(extent.file_end, end) - pos
+            pieces.append((extent.disk_at(pos), take))
+            pos += take
+            idx += 1
+        return pieces
+
+    def disk_ranges(self, offset: int, length: int) -> List[Tuple[int, int]]:
+        """Like :meth:`map_range` but holes removed."""
+        return [(d, l) for d, l in self.map_range(offset, length) if d is not None]
+
+    def is_fully_mapped(self, offset: int, length: int) -> bool:
+        return all(d is not None for d, _ in self.map_range(offset, length))
+
+    def holes(self, offset: int, length: int) -> List[Tuple[int, int]]:
+        """Unmapped (file_offset, length) sub-ranges of the given range."""
+        out = []
+        pos = offset
+        for disk, piece_len in self.map_range(offset, length):
+            if disk is None:
+                out.append((pos, piece_len))
+            pos += piece_len
+        return out
+
+    # -- mutation --------------------------------------------------------
+
+    def punch(self, offset: int, length: int) -> List[Extent]:
+        """Remove mappings over ``[offset, offset+length)``.
+
+        Returns the removed disk pieces so the caller can free the blocks.
+        Extents straddling the boundary are split.  O(log n + k) for k
+        affected extents.
+        """
+        self._check_aligned(offset, length)
+        if length <= 0:
+            return []
+        end = offset + length
+        first = self._index_for(offset)
+        removed: List[Extent] = []
+        kept_edges: List[Extent] = []
+        last = first
+        while last < len(self._extents) and self._extents[last].file_offset < end:
+            extent = self._extents[last]
+            cut_start = max(extent.file_offset, offset)
+            cut_end = min(extent.file_end, end)
+            if extent.file_offset < cut_start:
+                kept_edges.append(
+                    Extent(extent.file_offset, extent.disk_offset, cut_start - extent.file_offset)
+                )
+            removed.append(Extent(cut_start, extent.disk_at(cut_start), cut_end - cut_start))
+            if cut_end < extent.file_end:
+                kept_edges.append(
+                    Extent(cut_end, extent.disk_at(cut_end), extent.file_end - cut_end)
+                )
+            last += 1
+        if removed:
+            self._extents[first:last] = kept_edges
+            self._starts[first:last] = [e.file_offset for e in kept_edges]
+        return removed
+
+    def insert(self, extent: Extent) -> List[Extent]:
+        """Map a new extent, replacing anything it overlaps.
+
+        Returns the displaced disk pieces (the caller frees those blocks —
+        this is how out-of-place filesystems retire old copies).  Merges
+        with physically contiguous neighbours.
+        """
+        displaced = self.punch(extent.file_offset, extent.length)
+        idx = bisect.bisect_left(self._starts, extent.file_offset)
+        # coalesce with the previous neighbour
+        if idx > 0:
+            prev = self._extents[idx - 1]
+            if prev.file_end == extent.file_offset and prev.disk_end == extent.disk_offset:
+                extent = Extent(prev.file_offset, prev.disk_offset, prev.length + extent.length)
+                idx -= 1
+                del self._extents[idx]
+                del self._starts[idx]
+        # coalesce with the next neighbour
+        if idx < len(self._extents):
+            nxt = self._extents[idx]
+            if extent.file_end == nxt.file_offset and extent.disk_end == nxt.disk_offset:
+                extent = Extent(extent.file_offset, extent.disk_offset, extent.length + nxt.length)
+                del self._extents[idx]
+                del self._starts[idx]
+        self._extents.insert(idx, extent)
+        self._starts.insert(idx, extent.file_offset)
+        return displaced
+
+    def preceding(self, file_offset: int) -> Optional[Extent]:
+        """The last extent ending at or before ``file_offset`` (O(log n))."""
+        idx = bisect.bisect_right(self._starts, file_offset) - 1
+        if idx >= 0 and self._extents[idx].file_end <= file_offset:
+            return self._extents[idx]
+        idx -= 1
+        return self._extents[idx] if idx >= 0 else None
+
+    @staticmethod
+    def _check_aligned(offset: int, length: int) -> None:
+        if offset % BLOCK_SIZE or length % BLOCK_SIZE:
+            raise InvalidArgument(
+                f"unaligned extent operation offset={offset} length={length}"
+            )
+
+    # -- invariants (used by property tests) ------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when internal invariants are violated."""
+        prev_end = -1
+        for extent in self._extents:
+            assert extent.file_offset >= prev_end, "extents overlap or unsorted"
+            prev_end = extent.file_end
+        assert self._starts == [e.file_offset for e in self._extents]

@@ -1,0 +1,217 @@
+"""Device free-space management.
+
+A sorted run list with first-fit / goal / best-effort-contiguous
+allocation.  Free-space fragmentation — the reason aged filesystems give
+new files discontiguous blocks — emerges naturally from churn, and the
+aging workload relies on it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..constants import BLOCK_SIZE
+from ..errors import InvalidArgument, NoSpaceError
+
+Run = Tuple[int, int]  # (start, length), byte units, block aligned
+
+
+@dataclass(frozen=True)
+class FreeSpaceStats:
+    free_bytes: int
+    run_count: int
+    largest_run: int
+
+
+class FreeSpaceManager:
+    """Sorted list of free runs over ``[region_start, region_end)``."""
+
+    def __init__(self, region_start: int, region_end: int) -> None:
+        if region_start % BLOCK_SIZE or region_end % BLOCK_SIZE:
+            raise InvalidArgument("region bounds must be block aligned")
+        if region_end <= region_start:
+            raise InvalidArgument("empty free-space region")
+        self.region_start = region_start
+        self.region_end = region_end
+        self._starts: List[int] = [region_start]
+        self._lengths: List[int] = [region_end - region_start]
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(self._lengths)
+
+    def runs(self) -> List[Run]:
+        return list(zip(self._starts, self._lengths))
+
+    def stats(self) -> FreeSpaceStats:
+        return FreeSpaceStats(
+            free_bytes=self.free_bytes,
+            run_count=len(self._starts),
+            largest_run=max(self._lengths, default=0),
+        )
+
+    def largest_run(self) -> int:
+        return max(self._lengths, default=0)
+
+    # -- allocation ------------------------------------------------------
+
+    def alloc_contiguous(self, length: int, goal: Optional[int] = None) -> int:
+        """Allocate one contiguous run of ``length`` bytes; returns start.
+
+        Tries first-fit *at or after* ``goal`` (allocating mid-run when the
+        goal falls inside a free run), then wraps around.  Raises
+        :class:`NoSpaceError` when no single run is large enough.
+        """
+        self._check(length)
+        order = self._search_order(goal)
+        for position, idx in enumerate(order):
+            start, run_len = self._starts[idx], self._lengths[idx]
+            if (
+                position == 0
+                and goal is not None
+                and start < goal < start + run_len
+            ):
+                # the goal sits inside this run: honour it exactly
+                if start + run_len - goal >= length:
+                    self.alloc_at(goal, length)
+                    return goal
+                # tail too small; the run stays eligible from its start
+                # when the search wraps back around
+                if run_len >= length and len(order) == 1:
+                    return self._take(idx, length)
+                continue
+            if run_len >= length:
+                return self._take(idx, length)
+        # wrap-around retry for the pivot run we skipped above
+        if goal is not None and order:
+            idx = order[0]
+            if idx < len(self._lengths) and self._lengths[idx] >= length:
+                return self._take(idx, length)
+        raise NoSpaceError(
+            f"no contiguous run of {length} bytes (largest {self.largest_run()})"
+        )
+
+    def alloc(self, length: int, goal: Optional[int] = None) -> List[Run]:
+        """Allocate ``length`` bytes, contiguous if possible.
+
+        Falls back to stitching together multiple runs in *address order*
+        from the goal (the way ext4 scans block groups) when no single run
+        fits — this is how writing into fragmented free space yields a
+        fragmented file whose pieces are hole-sized.
+        """
+        self._check(length)
+        if self.free_bytes < length:
+            raise NoSpaceError(f"only {self.free_bytes} bytes free, need {length}")
+        try:
+            start = self.alloc_contiguous(length, goal)
+            return [(start, length)]
+        except NoSpaceError:
+            pass
+        pieces: List[Run] = []
+        remaining = length
+        pivot = goal if goal is not None else self.region_start
+        while remaining > 0:
+            idx = bisect.bisect_left(self._starts, pivot)
+            if idx >= len(self._starts):
+                idx = 0  # wrap around
+            take = min(self._lengths[idx], remaining)
+            start = self._take(idx, take)
+            pieces.append((start, take))
+            pivot = start + take
+            remaining -= take
+        pieces.sort()
+        return pieces
+
+    def alloc_at(self, start: int, length: int) -> None:
+        """Claim an exact range (used to replay known layouts).
+
+        Raises :class:`NoSpaceError` if any part is already allocated.
+        """
+        self._check(length)
+        idx = bisect.bisect_right(self._starts, start) - 1
+        if idx < 0:
+            raise NoSpaceError(f"range at {start} not free")
+        run_start, run_len = self._starts[idx], self._lengths[idx]
+        if start < run_start or start + length > run_start + run_len:
+            raise NoSpaceError(f"range [{start}, {start + length}) not free")
+        # split the run around the claimed range
+        del self._starts[idx]
+        del self._lengths[idx]
+        if start > run_start:
+            self._insert_run(run_start, start - run_start)
+        tail = (run_start + run_len) - (start + length)
+        if tail > 0:
+            self._insert_run(start + length, tail)
+
+    # -- release ---------------------------------------------------------
+
+    def free(self, start: int, length: int) -> None:
+        """Return a range to the pool, coalescing with neighbours."""
+        self._check(length)
+        if start < self.region_start or start + length > self.region_end:
+            raise InvalidArgument(f"free outside region: [{start}, {start + length})")
+        idx = bisect.bisect_left(self._starts, start)
+        # guard against double free / overlap
+        if idx > 0:
+            prev_end = self._starts[idx - 1] + self._lengths[idx - 1]
+            if prev_end > start:
+                raise InvalidArgument(f"double free at {start}")
+        if idx < len(self._starts) and start + length > self._starts[idx]:
+            raise InvalidArgument(f"double free at {start}")
+        self._starts.insert(idx, start)
+        self._lengths.insert(idx, length)
+        # coalesce with next
+        if idx + 1 < len(self._starts) and start + length == self._starts[idx + 1]:
+            self._lengths[idx] += self._lengths[idx + 1]
+            del self._starts[idx + 1]
+            del self._lengths[idx + 1]
+        # coalesce with previous
+        if idx > 0 and self._starts[idx - 1] + self._lengths[idx - 1] == start:
+            self._lengths[idx - 1] += self._lengths[idx]
+            del self._starts[idx]
+            del self._lengths[idx]
+
+    # -- internals -------------------------------------------------------
+
+    def _take(self, idx: int, length: int) -> int:
+        start = self._starts[idx]
+        if self._lengths[idx] == length:
+            del self._starts[idx]
+            del self._lengths[idx]
+        else:
+            self._starts[idx] += length
+            self._lengths[idx] -= length
+        return start
+
+    def _insert_run(self, start: int, length: int) -> None:
+        idx = bisect.bisect_left(self._starts, start)
+        self._starts.insert(idx, start)
+        self._lengths.insert(idx, length)
+
+    def _search_order(self, goal: Optional[int]) -> List[int]:
+        if goal is None:
+            return list(range(len(self._starts)))
+        pivot = bisect.bisect_left(self._starts, goal)
+        if pivot > 0 and self._starts[pivot - 1] + self._lengths[pivot - 1] > goal:
+            pivot -= 1  # goal falls inside the previous run
+        return list(range(pivot, len(self._starts))) + list(range(pivot))
+
+    @staticmethod
+    def _check(length: int) -> None:
+        if length <= 0 or length % BLOCK_SIZE:
+            raise InvalidArgument(f"bad allocation length {length}")
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on violated internal invariants."""
+        prev_end = None
+        for start, length in zip(self._starts, self._lengths):
+            assert length > 0
+            assert start >= self.region_start
+            assert start + length <= self.region_end
+            if prev_end is not None:
+                assert start > prev_end, "runs not coalesced or overlapping"
+            prev_end = start + length

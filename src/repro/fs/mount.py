@@ -1,0 +1,29 @@
+"""mkfs + mount in one call."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..device.base import StorageDevice
+from ..errors import InvalidArgument
+from .base import Filesystem
+from .btrfs import Btrfs
+from .ext4 import Ext4
+from .f2fs import F2fs
+
+FS_TYPES: Dict[str, Type[Filesystem]] = {
+    "ext4": Ext4,
+    "f2fs": F2fs,
+    "btrfs": Btrfs,
+}
+
+
+def make_filesystem(fs_type: str, device: StorageDevice, **kwargs) -> Filesystem:
+    """Create a fresh filesystem of the given personality on ``device``."""
+    try:
+        cls = FS_TYPES[fs_type]
+    except KeyError:
+        raise InvalidArgument(
+            f"unknown filesystem {fs_type!r}; choose from {sorted(FS_TYPES)}"
+        ) from None
+    return cls(device, **kwargs)

@@ -1,0 +1,101 @@
+"""LRU page cache.
+
+Buffered reads fill it, buffered writes dirty it, fsync/writeback cleans
+it.  O_DIRECT bypasses it entirely (as in Linux).  Capacity is configurable
+so experiments can model memory pressure; eviction of a dirty page reports
+it to the caller for writeback.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+PageKey = Tuple[int, int]  # (ino, page index)
+
+
+@dataclass
+class PageCacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PageCache:
+    """LRU over (inode, page) keys with a dirty set."""
+
+    def __init__(self, capacity_pages: int = 1 << 20) -> None:
+        self.capacity_pages = capacity_pages
+        self._lru: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._dirty: Set[PageKey] = set()
+        self.stats = PageCacheStats()
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    # -- lookup ----------------------------------------------------------
+
+    def probe(self, key: PageKey) -> bool:
+        """Check residency and update LRU + hit/miss stats."""
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    # -- population ------------------------------------------------------
+
+    def fill(self, keys: Iterable[PageKey]) -> List[PageKey]:
+        """Insert clean pages; returns dirty pages evicted to make room."""
+        writeback: List[PageKey] = []
+        for key in keys:
+            self._lru[key] = None
+            self._lru.move_to_end(key)
+        while len(self._lru) > self.capacity_pages:
+            victim, _ = self._lru.popitem(last=False)
+            if victim in self._dirty:
+                self._dirty.discard(victim)
+                writeback.append(victim)
+        return writeback
+
+    def mark_dirty(self, keys: Iterable[PageKey]) -> List[PageKey]:
+        """Insert/refresh pages as dirty; returns evicted dirty pages."""
+        keys = list(keys)
+        self._dirty.update(keys)
+        return self.fill(keys)
+
+    # -- writeback -------------------------------------------------------
+
+    def dirty_pages(self, ino: int) -> List[int]:
+        """Sorted dirty page indices of one inode."""
+        return sorted(page for (i, page) in self._dirty if i == ino)
+
+    def clean(self, ino: int, pages: Iterable[int]) -> None:
+        for page in pages:
+            self._dirty.discard((ino, page))
+
+    def invalidate_inode(self, ino: int) -> None:
+        """Drop every page of an inode (unlink / O_DIRECT coherence)."""
+        doomed = [key for key in self._lru if key[0] == ino]
+        for key in doomed:
+            del self._lru[key]
+            self._dirty.discard(key)
+
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def drop_clean(self) -> int:
+        """Evict every clean page (``drop_caches``); returns count dropped."""
+        doomed = [key for key in self._lru if key not in self._dirty]
+        for key in doomed:
+            del self._lru[key]
+        return len(doomed)

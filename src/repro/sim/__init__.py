@@ -1,0 +1,8 @@
+"""Virtual-time simulation: sessions (single actor) and the co-running
+engine (multiple actors time-sharing one device FCFS)."""
+
+from .clock import Clock
+from .session import Session
+from .engine import ActorContext, run_concurrently
+
+__all__ = ["Clock", "Session", "ActorContext", "run_concurrently"]

@@ -1,0 +1,21 @@
+"""A trivially simple virtual clock."""
+
+from __future__ import annotations
+
+from ..errors import InvalidArgument
+
+
+class Clock:
+    """Monotonic virtual time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def advance_to(self, t: float) -> float:
+        if t < self.now:
+            raise InvalidArgument(f"clock cannot go backwards ({t} < {self.now})")
+        self.now = t
+        return self.now
+
+    def advance_by(self, dt: float) -> float:
+        return self.advance_to(self.now + dt)

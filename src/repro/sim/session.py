@@ -1,0 +1,55 @@
+"""Session: a single-threaded process doing syscalls against one filesystem.
+
+Wraps the explicit ``now=``/``finish_time`` plumbing of the VFS into an
+auto-advancing clock, which is what examples and most workloads want.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..fs.base import FallocMode, FileHandle, Filesystem, SyscallResult
+from .clock import Clock
+
+
+class Session:
+    """One application's sequential syscall stream."""
+
+    def __init__(self, fs: Filesystem, app: str = "app", start: float = 0.0, clock: Optional[Clock] = None) -> None:
+        self.fs = fs
+        self.app = app
+        self.clock = clock if clock is not None else Clock(start)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def _done(self, result: SyscallResult) -> SyscallResult:
+        self.clock.advance_to(max(self.now, result.finish_time))
+        return result
+
+    # -- syscalls ----------------------------------------------------------
+
+    def open(self, path: str, o_direct: bool = False, create: bool = False) -> FileHandle:
+        return self.fs.open(path, o_direct=o_direct, app=self.app, create=create)
+
+    def read(self, handle: FileHandle, offset: int, length: int, want_data: bool = False) -> SyscallResult:
+        return self._done(self.fs.read(handle, offset, length, now=self.now, want_data=want_data))
+
+    def write(self, handle: FileHandle, offset: int, length: int = None, data: bytes = None) -> SyscallResult:
+        return self._done(self.fs.write(handle, offset, length=length, data=data, now=self.now))
+
+    def fsync(self, handle: FileHandle) -> SyscallResult:
+        return self._done(self.fs.fsync(handle, now=self.now))
+
+    def fallocate(self, handle: FileHandle, mode: FallocMode, offset: int, length: int) -> SyscallResult:
+        return self._done(self.fs.fallocate(handle, mode, offset, length, now=self.now))
+
+    def unlink(self, path: str) -> SyscallResult:
+        return self._done(self.fs.unlink(path, now=self.now))
+
+    def sync(self) -> SyscallResult:
+        return self._done(self.fs.sync(now=self.now))
+
+    def sleep(self, seconds: float) -> None:
+        self.clock.advance_by(seconds)

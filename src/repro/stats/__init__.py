@@ -1,0 +1,14 @@
+"""Statistics helpers used by the paper's analysis (Section 3) and benches."""
+
+from .correlation import correlation_coefficient, nlrs, normalize_to_min
+from .timeline import Timeline, windowed_throughput
+from .tables import format_table
+
+__all__ = [
+    "correlation_coefficient",
+    "nlrs",
+    "normalize_to_min",
+    "Timeline",
+    "windowed_throughput",
+    "format_table",
+]

@@ -1,0 +1,64 @@
+"""The two statistics of the paper's Section 3 analysis.
+
+Equation (1): correlation coefficient (Pearson's r) —
+
+    CC(X, Y) = sum((x - mx)(y - my)) / sqrt(sum((x - mx)^2) sum((y - my)^2))
+
+Equation (2): normalized linear regression slope —
+
+    NLRS(X, Y) = sum((x - mx)(y - my)) / sum((x - mx)^2)
+
+where Y is performance *normalized to the lowest measurement* (the paper
+normalizes "because the storage devices show an immense performance
+difference").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import InvalidArgument
+
+
+def _as_arrays(xs: Sequence[float], ys: Sequence[float]):
+    if len(xs) != len(ys):
+        raise InvalidArgument(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise InvalidArgument("need at least two samples")
+    return np.asarray(xs, dtype=float), np.asarray(ys, dtype=float)
+
+
+def correlation_coefficient(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient, Equation (1) of the paper."""
+    x, y = _as_arrays(xs, ys)
+    dx, dy = x - x.mean(), y - y.mean()
+    denom = float(np.sqrt((dx * dx).sum() * (dy * dy).sum()))
+    if denom == 0.0:
+        return 0.0
+    return float((dx * dy).sum() / denom)
+
+
+def nlrs(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Normalized linear regression slope, Equation (2) of the paper.
+
+    Callers are expected to pass ``ys`` already normalized via
+    :func:`normalize_to_min`; this function is the raw least-squares slope.
+    """
+    x, y = _as_arrays(xs, ys)
+    dx, dy = x - x.mean(), y - y.mean()
+    denom = float((dx * dx).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((dx * dy).sum() / denom)
+
+
+def normalize_to_min(ys: Sequence[float]) -> list:
+    """Normalize performance samples to the smallest one (paper Section 3)."""
+    if not ys:
+        raise InvalidArgument("empty sample list")
+    lo = min(ys)
+    if lo <= 0:
+        raise InvalidArgument("performance samples must be positive")
+    return [y / lo for y in ys]

@@ -1,0 +1,72 @@
+"""Event timelines and windowed throughput (the Figure 2 / Figure 10 view).
+
+A :class:`Timeline` collects ``(virtual_time, amount)`` completion events —
+e.g. one event per finished YCSB operation — and can be reduced to
+operations-per-second over fixed windows, which is exactly how the paper
+plots co-running application performance while a defragmenter works in the
+background.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class Timeline:
+    """Ordered completion events ``(time, amount)``."""
+
+    events: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, amount: float = 1.0) -> None:
+        self.events.append((time, amount))
+
+    @property
+    def duration(self) -> float:
+        if not self.events:
+            return 0.0
+        return self.events[-1][0] - self.events[0][0]
+
+    def total(self) -> float:
+        return sum(amount for _, amount in self.events)
+
+    def rate(self) -> float:
+        """Mean events/sec over the whole timeline."""
+        if self.duration <= 0:
+            return 0.0
+        return self.total() / self.duration
+
+    def between(self, start: float, end: float) -> "Timeline":
+        return Timeline([(t, a) for t, a in self.events if start <= t < end])
+
+
+def windowed_throughput(
+    timeline: Timeline, window: float, start: float = 0.0, end: float = None
+) -> List[Tuple[float, float]]:
+    """Reduce a timeline to ``(window_center, amount_per_second)`` samples."""
+    if not timeline.events and end is None:
+        return []
+    if end is None:
+        end = timeline.events[-1][0]
+    samples = []
+    t = start
+    events = sorted(timeline.events)
+    idx = 0
+    while t < end:
+        hi = t + window
+        amount = 0.0
+        while idx < len(events) and events[idx][0] < hi:
+            if events[idx][0] >= t:
+                amount += events[idx][1]
+            idx += 1
+        samples.append((t + window / 2.0, amount / window))
+        t = hi
+    return samples
+
+
+def mean_rate(samples: Sequence[Tuple[float, float]]) -> float:
+    """Average of windowed throughput samples."""
+    if not samples:
+        return 0.0
+    return sum(v for _, v in samples) / len(samples)

@@ -1,0 +1,263 @@
+"""Conventional full-file defragmenters (Section 2.3).
+
+All of them migrate the *entire* content of each fragmented file — the
+behaviour FragPicker's selective migration is measured against:
+
+- On in-place filesystems (Ext4) the tool must relocate blocks explicitly:
+  modelled as read-everything, punch, reallocate contiguously, rewrite —
+  I/O-equivalent to e4defrag's donor-file + ``EXT4_IOC_MOVE_EXT`` dance.
+  e4defrag's observed pathology of issuing 4 KiB reads for fragmented data
+  (Section 5.3.1) is reproduced via ``read_io_size``.
+- On out-of-place filesystems (F2FS with IPU off, Btrfs) a plain rewrite
+  relocates data, so the tool reads and rewrites in place.
+
+``extent_threshold`` reproduces ``btrfs filesystem defragment -t``: extents
+at least that large are left alone, so only runs of smaller extents are
+rewritten.  Because those runs align with *extent* boundaries rather than
+request boundaries, stride reads can still split (the paper's Conv.-T
+misalignment argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..constants import KIB, MIB, block_align_down
+from ..core.range_list import FileRange
+from ..core.report import DefragReport
+from ..errors import NoSpaceError
+from ..fs.base import FallocMode, FileHandle, Filesystem
+from ..fs.fiemap import fragment_count
+
+
+@dataclass(frozen=True)
+class ConventionalConfig:
+    read_io_size: int = 1 * MIB
+    write_io_size: int = 1 * MIB
+    #: skip extents >= this size (btrfs -t); None migrates everything
+    extent_threshold: Optional[int] = None
+    #: Conventional tools write through the page cache (e4defrag's donor
+    #: file, Btrfs CoW rewrite).  Dirty data then hits the device in large
+    #: writeback bursts at fsync time — the mechanism behind the heavy
+    #: co-running interference of Figures 2 and 10.
+    buffered_writes: bool = True
+    #: fsync cadence while migrating (one writeback burst per this much)
+    fsync_every_bytes: int = 4 * MIB
+    app: str = "defrag"
+
+
+class ConventionalDefragmenter:
+    """Full-file migration tool."""
+
+    def __init__(self, fs: Filesystem, config: ConventionalConfig = ConventionalConfig(), tool_name: str = "conventional") -> None:
+        self.fs = fs
+        self.config = config
+        self.tool_name = tool_name
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def defragment(self, paths: Iterable[str], now: float = 0.0) -> DefragReport:
+        """Defragment each file fully, sequentially."""
+        report = self._new_report(paths, now)
+        for path, file_range in self._work_items(report):
+            report.ranges_examined += 1
+            now = self._migrate_whole(path, file_range, report, now)
+        return self._finish_report(report, now)
+
+    def actor(self, paths: Sequence[str], report_out: Optional[DefragReport] = None):
+        """Co-running generator: yields once per migrated chunk."""
+        def _run(ctx):
+            report = report_out if report_out is not None else DefragReport(tool=self.tool_name)
+            self._start_report(report, paths, ctx.now)
+            for path, file_range in self._work_items(report):
+                report.ranges_examined += 1
+                for finish in self._migrate_chunked(path, file_range, report, ctx.now):
+                    ctx.now = finish
+                    yield
+            self._finish_report(report, ctx.now)
+        return _run
+
+    # ------------------------------------------------------------------
+    # work selection
+    # ------------------------------------------------------------------
+
+    def _work_items(self, report: DefragReport):
+        """(path, range) pairs to migrate: whole files, or sub-threshold
+        extent runs when an extent threshold is configured."""
+        for path in list(report.fragments_before):
+            if path not in self.fs.paths:
+                continue
+            if report.fragments_before[path] <= 1:
+                report.ranges_skipped_contiguous += 1
+                continue
+            inode = self.fs.inode_of(path)
+            end = block_align_down(inode.size)
+            if end <= 0:
+                continue
+            if self.config.extent_threshold is None:
+                yield path, FileRange(0, end)
+                continue
+            for run in self._small_extent_runs(path, end):
+                yield path, run
+
+    def _small_extent_runs(self, path: str, file_end: int) -> List[FileRange]:
+        """Maximal runs of consecutive extents smaller than the threshold."""
+        threshold = self.config.extent_threshold
+        runs: List[FileRange] = []
+        current: Optional[Tuple[int, int]] = None
+        for extent in self.fs.inode_of(path).extent_map:
+            if extent.file_offset >= file_end:
+                break
+            small = extent.length < threshold
+            if small:
+                if current is not None and current[1] == extent.file_offset:
+                    current = (current[0], extent.file_end)
+                else:
+                    if current is not None:
+                        runs.append(FileRange(current[0], min(current[1], file_end)))
+                    current = (extent.file_offset, extent.file_end)
+            else:
+                if current is not None:
+                    runs.append(FileRange(current[0], min(current[1], file_end)))
+                    current = None
+        if current is not None:
+            runs.append(FileRange(current[0], min(current[1], file_end)))
+        return runs
+
+    # ------------------------------------------------------------------
+    # migration mechanics
+    # ------------------------------------------------------------------
+
+    def _out_of_place(self) -> bool:
+        if self.fs.fs_type == "f2fs":
+            return not self.fs.ipu_enabled
+        return not getattr(self.fs, "in_place_updates", False)
+
+    def _migrate_whole(self, path: str, file_range: FileRange, report: DefragReport, now: float) -> float:
+        for finish in self._migrate_chunked(path, file_range, report, now):
+            now = finish
+        return now
+
+    def _migrate_chunked(self, path: str, file_range: FileRange, report: DefragReport, now: float):
+        """Migrate a range, yielding after every syscall (for actors).
+
+        Per-syscall granularity matters for co-running fairness: a real
+        defragmenter's requests interleave with foreground traffic in the
+        device queue rather than monopolizing it for megabytes at a time.
+        """
+        inode = self.fs.inode_of(path)
+        handle = FileHandle(self.fs, inode.ino, o_direct=True, app=self.config.app)
+        write_handle = FileHandle(
+            self.fs, inode.ino, o_direct=not self.config.buffered_writes, app=self.config.app
+        )
+        before = self.fs.tracer.tag(self.config.app).snapshot()
+        out_of_place = self._out_of_place()
+        ipu_restore = None
+        if self.fs.fs_type == "f2fs" and self.fs.ipu_enabled:
+            ipu_restore = True
+            self.fs.set_ipu(False)
+        try:
+            pos = file_range.start
+            unsynced = 0
+            while pos < file_range.end:
+                chunk = min(self.config.write_io_size, file_range.end - pos)
+                for now in self._migrate_chunk(handle, write_handle, pos, chunk, out_of_place, now):
+                    yield now
+                pos += chunk
+                unsynced += chunk
+                if unsynced >= self.config.fsync_every_bytes:
+                    now = self.fs.fsync(write_handle, now=now).finish_time
+                    unsynced = 0
+                    yield now
+            now = self.fs.fsync(write_handle, now=now).finish_time
+        except NoSpaceError:
+            pass  # like real tools: give up on this file
+        finally:
+            if ipu_restore:
+                self.fs.set_ipu(True)
+        delta = self.fs.tracer.tag(self.config.app).delta(before)
+        report.read_bytes += delta.read_bytes
+        report.write_bytes += delta.write_bytes
+        report.ranges_migrated += 1
+        yield now
+
+    def _migrate_chunk(self, handle: FileHandle, write_handle: FileHandle, offset: int,
+                       length: int, out_of_place: bool, now: float):
+        """Generator: yields the running time after each syscall."""
+        # reads happen at the tool's read granularity (4 KiB for e4defrag)
+        data_needed = self.fs.page_store.any_content(handle.ino, offset, length)
+        buffered: List[bytes] = []
+        pos = offset
+        while pos < offset + length:
+            take = min(self.config.read_io_size, offset + length - pos)
+            result = self.fs.read(handle, pos, take, now=now, want_data=data_needed)
+            if data_needed and result.data is not None:
+                buffered.append(result.data)
+            now = result.finish_time
+            pos += take
+            yield now
+        data = b"".join(buffered) if data_needed else None
+        if not out_of_place:
+            now = self.fs.fallocate(handle, FallocMode.PUNCH_HOLE, offset, length, now=now).finish_time
+            now = self.fs.fallocate(handle, FallocMode.ALLOCATE, offset, length, now=now).finish_time
+        now = self.fs.write(write_handle, offset, length=length, data=data, now=now).finish_time
+        yield now
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def _new_report(self, paths: Iterable[str], now: float) -> DefragReport:
+        report = DefragReport(tool=self.tool_name)
+        self._start_report(report, paths, now)
+        return report
+
+    def _start_report(self, report: DefragReport, paths: Iterable[str], now: float) -> None:
+        report.started_at = now
+        for path in paths:
+            if path in self.fs.paths:
+                report.fragments_before[path] = fragment_count(self.fs, path)
+        report.files_examined = len(report.fragments_before)
+
+    def _finish_report(self, report: DefragReport, now: float) -> DefragReport:
+        report.finished_at = now
+        for path in report.fragments_before:
+            if path in self.fs.paths:
+                report.fragments_after[path] = fragment_count(self.fs, path)
+        return report
+
+
+# ----------------------------------------------------------------------
+# factories matching the paper's tools
+# ----------------------------------------------------------------------
+
+def e4defrag(fs: Filesystem) -> ConventionalDefragmenter:
+    """Ext4's e4defrag: full migration, 4 KiB reads of fragmented data."""
+    return ConventionalDefragmenter(
+        fs, ConventionalConfig(read_io_size=4 * KIB), tool_name="e4defrag"
+    )
+
+
+def btrfs_defragment(fs: Filesystem, extent_threshold: Optional[int] = None) -> ConventionalDefragmenter:
+    """btrfs filesystem defragment, optionally with ``-t <threshold>``."""
+    name = "btrfs.defragment" + ("-t" if extent_threshold else "")
+    return ConventionalDefragmenter(
+        fs, ConventionalConfig(extent_threshold=extent_threshold), tool_name=name
+    )
+
+
+def f2fs_defrag(fs: Filesystem) -> ConventionalDefragmenter:
+    """The paper's F2FS full-file-rewrite mimic."""
+    return ConventionalDefragmenter(fs, ConventionalConfig(), tool_name="f2fs-defrag")
+
+
+def make_conventional(fs: Filesystem, extent_threshold: Optional[int] = None) -> ConventionalDefragmenter:
+    """The natural conventional tool for a filesystem type (Conv. in figures)."""
+    if fs.fs_type == "ext4":
+        return e4defrag(fs)
+    if fs.fs_type == "btrfs":
+        return btrfs_defragment(fs, extent_threshold)
+    return f2fs_defrag(fs)

@@ -1,0 +1,22 @@
+"""Trace records emitted by the syscall monitor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IORecord:
+    """One observed I/O system call (the paper's Section 4.1.1 fields)."""
+
+    io_type: str     # "read" | "write"
+    ino: int
+    offset: int      # start offset of the I/O
+    size: int
+    o_direct: bool
+    app: str
+    time: float
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size

@@ -1,0 +1,89 @@
+"""BCC-style syscall monitor.
+
+Attaches a probe to a filesystem's syscall layer (above the VFS page
+cache, so readahead has *not* been applied to what it sees — FragPicker
+compensates for that during per-file analysis) and records
+:class:`~repro.trace.records.IORecord` entries, optionally filtered by
+application tag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..fs.base import Filesystem, SyscallEvent
+from .records import IORecord
+
+
+class SyscallMonitor:
+    """Collects I/O syscalls from one filesystem.
+
+    Use as a context manager around the observation window::
+
+        with SyscallMonitor(fs, apps={"rocksdb"}) as mon:
+            run_workload()
+        records = mon.records
+    """
+
+    def __init__(
+        self,
+        fs: Filesystem,
+        apps: Optional[Iterable[str]] = None,
+        io_types: Iterable[str] = ("read", "write"),
+    ) -> None:
+        self.fs = fs
+        self.apps: Optional[Set[str]] = set(apps) if apps is not None else None
+        self.io_types = set(io_types)
+        self.records: List[IORecord] = []
+        self._attached = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self) -> "SyscallMonitor":
+        if not self._attached:
+            self.fs.attach_monitor(self._probe)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.fs.detach_monitor(self._probe)
+            self._attached = False
+
+    def __enter__(self) -> "SyscallMonitor":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- probe --------------------------------------------------------------
+
+    def _probe(self, event: SyscallEvent) -> None:
+        if event.op not in self.io_types:
+            return
+        if self.apps is not None and event.app not in self.apps:
+            return
+        if event.size <= 0:
+            return
+        self.records.append(
+            IORecord(
+                io_type=event.op,
+                ino=event.ino,
+                offset=event.offset,
+                size=event.size,
+                o_direct=event.o_direct,
+                app=event.app,
+                time=event.time,
+            )
+        )
+
+    # -- views ----------------------------------------------------------------
+
+    def by_inode(self) -> Dict[int, List[IORecord]]:
+        grouped: Dict[int, List[IORecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.ino, []).append(record)
+        return grouped
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,54 @@
+"""Workloads and application substrates used by the paper's evaluation.
+
+- :mod:`synthetic` — the Section 5.2 fragmented-file factory and
+  sequential/stride readers/updaters.
+- :mod:`kvstore` + :mod:`ycsb` — a RocksDB-like LSM store driven by
+  YCSB-style operation streams (Figures 2 and 10).
+- :mod:`sqlite_like` — a journaled paged database (Section 5.3.2).
+- :mod:`fileserver` — Filebench-fileserver-like file set plus the
+  recursive-grep measurement (Figure 11).
+- :mod:`fio` — a simple sequential writer (co-running interference).
+- :mod:`aging` — free-space aging (the Dabre-profile substitute).
+"""
+
+from .distributions import UniformKeys, ZipfianKeys
+from .synthetic import (
+    FragmentSpec,
+    make_fragmented_file,
+    make_paper_synthetic_file,
+    sequential_read,
+    sequential_update,
+    stride_read,
+    stride_update,
+)
+from .aging import age_filesystem
+from .kvstore import LsmStore, LsmConfig
+from .ycsb import YcsbConfig, YcsbWorkload, WORKLOAD_A, WORKLOAD_C
+from .sqlite_like import SqliteLike, SqliteConfig
+from .fileserver import FileServer, FileServerConfig, grep_directory
+from .fio import fio_sequential_writer
+
+__all__ = [
+    "UniformKeys",
+    "ZipfianKeys",
+    "FragmentSpec",
+    "make_fragmented_file",
+    "make_paper_synthetic_file",
+    "sequential_read",
+    "sequential_update",
+    "stride_read",
+    "stride_update",
+    "age_filesystem",
+    "LsmStore",
+    "LsmConfig",
+    "YcsbConfig",
+    "YcsbWorkload",
+    "WORKLOAD_A",
+    "WORKLOAD_C",
+    "SqliteLike",
+    "SqliteConfig",
+    "FileServer",
+    "FileServerConfig",
+    "grep_directory",
+    "fio_sequential_writer",
+]

@@ -1,0 +1,71 @@
+"""Filesystem aging: the Dabre-profile substitute.
+
+The paper ages its Ext4 filesystem with dummy files from the Dabre profile
+(captured from a one-year-old root partition by Geriatrix) and then deletes
+a subset to open fragmented free space.  We reproduce the effect: fill a
+fraction of the disk with many small-to-medium files, then delete a random
+subset, leaving free space shredded into small runs so subsequent
+allocations fragment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..constants import BLOCK_SIZE, KIB
+from ..fs.base import Filesystem
+
+
+@dataclass(frozen=True)
+class AgingReport:
+    files_created: int
+    files_deleted: int
+    free_bytes: int
+    free_runs: int
+    largest_free_run: int
+
+
+def age_filesystem(
+    fs: Filesystem,
+    fill_fraction: float = 0.6,
+    delete_fraction: float = 0.4,
+    min_file: int = 16 * KIB,
+    max_file: int = 512 * KIB,
+    seed: int = 7,
+    now: float = 0.0,
+    prefix: str = "/aging",
+) -> AgingReport:
+    """Churn the filesystem until free space is fragmented.
+
+    ``fill_fraction`` of current free space is consumed by dummy files of
+    uniformly random (block-aligned) sizes; ``delete_fraction`` of them are
+    then deleted in random order.
+    """
+    rng = random.Random(seed)
+    target = int(fs.free_space.free_bytes * fill_fraction)
+    created: List[str] = []
+    consumed = 0
+    index = 0
+    while consumed < target:
+        size = rng.randrange(min_file, max_file + BLOCK_SIZE, BLOCK_SIZE)
+        size = min(size, target - consumed + BLOCK_SIZE)
+        size = max(BLOCK_SIZE, (size // BLOCK_SIZE) * BLOCK_SIZE)
+        path = f"{prefix}/f{index:07d}"
+        handle = fs.open(path, o_direct=True, app="aging", create=True)
+        now = fs.write(handle, 0, size, now=now).finish_time
+        created.append(path)
+        consumed += size
+        index += 1
+    doomed = rng.sample(created, int(len(created) * delete_fraction))
+    for path in doomed:
+        now = fs.unlink(path, now=now).finish_time
+    stats = fs.free_space.stats()
+    return AgingReport(
+        files_created=len(created),
+        files_deleted=len(doomed),
+        free_bytes=stats.free_bytes,
+        free_runs=stats.run_count,
+        largest_free_run=stats.largest_run,
+    )

@@ -1,0 +1,71 @@
+"""Key-popularity distributions for YCSB-style workloads.
+
+Zipfian uses the Gray et al. "quick zipf" sampler YCSB itself uses, with
+the usual hash-scramble so hot keys are spread over the keyspace instead
+of clustered at low key ids.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import InvalidArgument
+
+
+class UniformKeys:
+    """Uniform key sampler over ``[0, n)``."""
+
+    def __init__(self, n: int, seed: int = 42) -> None:
+        if n <= 0:
+            raise InvalidArgument("need at least one key")
+        self.n = n
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randrange(self.n)
+
+
+class ZipfianKeys:
+    """Zipfian sampler (theta defaults to YCSB's 0.99), scrambled."""
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 42, scramble: bool = True) -> None:
+        if n <= 0:
+            raise InvalidArgument("need at least one key")
+        if not 0.0 < theta < 1.0:
+            raise InvalidArgument("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self.scramble = scramble
+        self._rng = random.Random(seed)
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            rank = 0
+        elif uz < 1.0 + 0.5 ** self.theta:
+            rank = 1
+        else:
+            rank = int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        rank = min(rank, self.n - 1)
+        if self.scramble:
+            return self._fnv(rank) % self.n
+        return rank
+
+    @staticmethod
+    def _fnv(value: int) -> int:
+        """64-bit FNV-1a over the integer's 8 bytes (YCSB's scramble)."""
+        h = 0xCBF29CE484222325
+        for _ in range(8):
+            h ^= value & 0xFF
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+            value >>= 8
+        return h

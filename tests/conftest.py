@@ -1,0 +1,41 @@
+"""Shared fixtures: small, fast device + filesystem instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import GIB
+from repro.device import make_device
+from repro.fs import make_filesystem
+
+
+@pytest.fixture
+def optane():
+    return make_device("optane", capacity=1 * GIB)
+
+
+@pytest.fixture
+def flash():
+    return make_device("flash", capacity=1 * GIB)
+
+
+@pytest.fixture
+def microsd():
+    return make_device("microsd", capacity=1 * GIB)
+
+
+@pytest.fixture
+def hdd():
+    return make_device("hdd", capacity=4 * GIB)
+
+
+@pytest.fixture
+def fs(optane):
+    """Default filesystem: Ext4 on Optane."""
+    return make_filesystem("ext4", optane)
+
+
+@pytest.fixture(params=["ext4", "f2fs", "btrfs"])
+def any_fs(request):
+    """One of each filesystem personality, on a fresh Optane."""
+    return make_filesystem(request.param, make_device("optane", capacity=1 * GIB))

@@ -1,0 +1,85 @@
+"""Smoke tests of the experiment modules at tiny scales.
+
+The full-scale runs live in benchmarks/; these keep the experiment code
+itself covered by the fast unit suite, and pin the headline shape of each
+at miniature size.
+"""
+
+import pytest
+
+from repro.constants import KIB, MIB
+from repro.bench.experiments import (
+    ablation_phases,
+    ablation_splitting,
+    ext_endurance,
+    ext_pba_defrag,
+    ext_recurrence,
+    fig4_frag_metrics,
+    fig12_hotness,
+    sec522_discard_cost,
+    synthetic_defrag,
+)
+
+
+def test_fig4_tiny():
+    result = fig4_frag_metrics.run(
+        devices=("optane",),
+        file_size=4 * MIB,
+        distance_file_size=1 * MIB,
+        frag_sizes=[4 * KIB, 64 * KIB, 128 * KIB, 256 * KIB],
+        frag_distances=[4 * KIB, 1024 * KIB],
+    )
+    row = result.sweeps["optane"].table1_row()
+    assert row["cc_size_before"] > 0.5
+    assert result.table1()
+    assert result.figure4()
+
+
+def test_synthetic_defrag_tiny():
+    result = synthetic_defrag.run(
+        "ext4", "optane", file_size=1 * MIB,
+        variants=("original", "fragpicker"), patterns=("seq_read",),
+    )
+    fp = result.cell("fragpicker", "seq_read")
+    orig = result.cell("original", "seq_read")
+    assert fp.throughput_mbps > orig.throughput_mbps
+    assert result.report()
+
+
+def test_fig12_tiny():
+    result = fig12_hotness.run(file_size=2 * MIB + 512 * KIB + 512 * KIB,
+                               ops=200, criteria=[0.25, 1.0])
+    assert set(result.sweeps) == {"uniform", "zipfian"}
+    for points in result.sweeps.values():
+        assert points[0].write_mb <= points[-1].write_mb + 0.01
+
+
+def test_discard_tiny():
+    result = sec522_discard_cost.run(file_size=8 * MIB)
+    assert result.cost["fragpicker"] < result.cost["original"]
+
+
+def test_splitting_tiny():
+    result = ablation_splitting.run("flash", file_size=1 * MIB,
+                                    frag_sizes=[4 * KIB, 128 * KIB])
+    assert result.points[0].commands_per_syscall > result.points[1].commands_per_syscall
+
+
+def test_phases_tiny():
+    result = ablation_phases.run(file_size=1 * MIB)
+    assert set(result.cells) == {"full", "no_merge", "no_check", "no_readahead"}
+
+
+def test_endurance_tiny():
+    result = ext_endurance.run(file_size=1 * MIB)
+    assert result.cells["fragpicker"].pages_programmed < result.cells["conventional"].pages_programmed
+
+
+def test_pba_tiny():
+    result = ext_pba_defrag.run(file_size=1 * MIB)
+    assert result.pba_fragpicker_mbps > result.stock_fragpicker_mbps
+
+
+def test_recurrence_tiny():
+    result = ext_recurrence.run(cycles=2)
+    assert result.runs["fragpicker"].total_write_mb < result.runs["e4defrag"].total_write_mb

@@ -1,0 +1,32 @@
+"""IoCommand invariants."""
+
+import pytest
+
+from repro.block import IoCommand, IoOp
+from repro.errors import InvalidArgument
+
+
+def test_end():
+    assert IoCommand(IoOp.READ, 100, 50).end == 150
+
+
+def test_rejects_bad_lengths():
+    with pytest.raises(InvalidArgument):
+        IoCommand(IoOp.READ, 0, 0)
+    with pytest.raises(InvalidArgument):
+        IoCommand(IoOp.READ, 0, -5)
+    with pytest.raises(InvalidArgument):
+        IoCommand(IoOp.READ, -1, 5)
+
+
+def test_retagged():
+    cmd = IoCommand(IoOp.WRITE, 0, 10, "a")
+    other = cmd.retagged("b")
+    assert other.tag == "b"
+    assert other.offset == cmd.offset and other.op == cmd.op
+
+
+def test_frozen():
+    cmd = IoCommand(IoOp.READ, 0, 10)
+    with pytest.raises(Exception):
+        cmd.length = 20

@@ -1,0 +1,86 @@
+"""Request splitting and merging — the structural core of the paper."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.block import IoOp, merge_adjacent, split_ranges
+from repro.constants import BLOCK_SIZE, KIB, MAX_REQUEST_SIZE
+
+
+def test_contiguous_file_one_command():
+    commands = split_ranges(IoOp.READ, [(0, 128 * KIB)])
+    assert len(commands) == 1
+    assert commands[0].offset == 0
+    assert commands[0].length == 128 * KIB
+
+
+def test_fragmented_file_splits():
+    ranges = [(i * 64 * KIB, 4 * KIB) for i in range(32)]
+    commands = split_ranges(IoOp.READ, ranges)
+    assert len(commands) == 32
+
+
+def test_adjacent_ranges_merge_back():
+    ranges = [(0, 4 * KIB), (4 * KIB, 4 * KIB), (8 * KIB, 4 * KIB)]
+    commands = split_ranges(IoOp.READ, ranges)
+    assert len(commands) == 1
+    assert commands[0].length == 12 * KIB
+
+
+def test_merge_is_order_sensitive():
+    # non-adjacent submission order is preserved, not sorted
+    ranges = [(8 * KIB, 4 * KIB), (0, 4 * KIB)]
+    assert merge_adjacent(ranges) == [(8 * KIB, 4 * KIB), (0, 4 * KIB)]
+
+
+def test_max_request_cap():
+    commands = split_ranges(IoOp.WRITE, [(0, 2 * MAX_REQUEST_SIZE + KIB)])
+    assert len(commands) == 3
+    assert commands[0].length == MAX_REQUEST_SIZE
+    assert commands[-1].length == KIB
+
+
+def test_zero_length_ranges_dropped():
+    assert merge_adjacent([(0, 0), (4 * KIB, 4 * KIB)]) == [(4 * KIB, 4 * KIB)]
+
+
+def test_tag_propagates():
+    commands = split_ranges(IoOp.READ, [(0, KIB)], tag="workload")
+    assert commands[0].tag == "workload"
+
+
+range_lists = st.lists(
+    st.tuples(
+        st.integers(0, 1000).map(lambda b: b * BLOCK_SIZE),
+        st.integers(1, 64).map(lambda b: b * BLOCK_SIZE),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(range_lists)
+def test_split_conserves_bytes(ranges):
+    commands = split_ranges(IoOp.READ, ranges)
+    assert sum(c.length for c in commands) == sum(length for _, length in ranges)
+
+
+@given(range_lists)
+def test_split_respects_cap_and_contiguity(ranges):
+    commands = split_ranges(IoOp.READ, ranges)
+    for command in commands:
+        assert 0 < command.length <= MAX_REQUEST_SIZE
+    # no two adjacent output commands could have been merged further
+    for a, b in zip(commands, commands[1:]):
+        if a.end == b.offset:
+            assert a.length == MAX_REQUEST_SIZE
+
+
+@given(range_lists)
+def test_split_covers_exact_ranges(ranges):
+    commands = split_ranges(IoOp.READ, ranges)
+    covered = []
+    for command in commands:
+        covered.append((command.offset, command.length))
+    # re-merging the output reproduces the merged input
+    assert merge_adjacent(covered) == merge_adjacent(ranges)

@@ -1,0 +1,41 @@
+"""blktrace-equivalent accounting."""
+
+from repro.block import BlockTracer, IoCommand, IoOp, TrafficCounter
+
+
+def test_per_tag_accounting():
+    tracer = BlockTracer()
+    tracer.observe([
+        IoCommand(IoOp.READ, 0, 100, "a"),
+        IoCommand(IoOp.WRITE, 0, 200, "a"),
+        IoCommand(IoOp.READ, 0, 300, "b"),
+        IoCommand(IoOp.DISCARD, 0, 400, "b"),
+    ])
+    assert tracer.tag("a").read_bytes == 100
+    assert tracer.tag("a").write_bytes == 200
+    assert tracer.tag("b").read_bytes == 300
+    assert tracer.tag("b").discard_bytes == 400
+    assert tracer.total.read_bytes == 400
+    assert tracer.tag("missing").total_bytes == 0
+
+
+def test_command_counts():
+    tracer = BlockTracer()
+    tracer.observe([IoCommand(IoOp.READ, 0, 1, "x")] * 5)
+    assert tracer.tag("x").read_commands == 5
+
+
+def test_snapshot_delta():
+    counter = TrafficCounter()
+    counter.account(IoCommand(IoOp.WRITE, 0, 100))
+    snap = counter.snapshot()
+    counter.account(IoCommand(IoOp.WRITE, 0, 50))
+    delta = counter.delta(snap)
+    assert delta.write_bytes == 50
+    assert snap.write_bytes == 100  # snapshot unaffected
+
+
+def test_keep_log():
+    tracer = BlockTracer(keep_log=True)
+    tracer.observe([IoCommand(IoOp.READ, 0, 1)])
+    assert len(tracer.log) == 1

@@ -1,0 +1,36 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_fast_experiment(capsys):
+    assert main(["run", "splitting"]) == 0
+    out = capsys.readouterr().out
+    assert "cmds/syscall" in out
+
+
+def test_run_with_options(capsys):
+    assert main(["run", "splitting", "--device", "microsd"]) == 0
+    assert "microsd" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "nope"])
+
+
+def test_every_experiment_registered():
+    # one CLI entry per paper artifact + ablations + extensions
+    assert len(EXPERIMENTS) >= 15
+    for spec in EXPERIMENTS.values():
+        assert callable(spec["fn"])
+        assert spec["help"]

@@ -1,0 +1,48 @@
+"""Alignment helpers."""
+
+import pytest
+
+from repro.constants import (
+    BLOCK_SIZE,
+    KIB,
+    MIB,
+    READAHEAD_SIZE,
+    block_align_down,
+    block_align_up,
+    blocks,
+)
+
+
+def test_unit_relationships():
+    assert BLOCK_SIZE == 4 * KIB
+    assert READAHEAD_SIZE == 128 * KIB
+    assert MIB == 1024 * KIB
+
+
+def test_blocks_ceiling():
+    assert blocks(0) == 0
+    assert blocks(1) == 1
+    assert blocks(BLOCK_SIZE) == 1
+    assert blocks(BLOCK_SIZE + 1) == 2
+    assert blocks(10 * BLOCK_SIZE) == 10
+
+
+def test_align_down():
+    assert block_align_down(0) == 0
+    assert block_align_down(BLOCK_SIZE - 1) == 0
+    assert block_align_down(BLOCK_SIZE) == BLOCK_SIZE
+    assert block_align_down(BLOCK_SIZE + 1) == BLOCK_SIZE
+
+
+def test_align_up():
+    assert block_align_up(0) == 0
+    assert block_align_up(1) == BLOCK_SIZE
+    assert block_align_up(BLOCK_SIZE) == BLOCK_SIZE
+    assert block_align_up(BLOCK_SIZE + 1) == 2 * BLOCK_SIZE
+
+
+@pytest.mark.parametrize("value", [0, 1, 4095, 4096, 4097, 123456789])
+def test_align_sandwich(value):
+    assert block_align_down(value) <= value <= block_align_up(value)
+    assert block_align_down(value) % BLOCK_SIZE == 0
+    assert block_align_up(value) % BLOCK_SIZE == 0

@@ -1,0 +1,41 @@
+"""The bypass option and fragmentation checking."""
+
+from repro.constants import KIB, READAHEAD_SIZE
+from repro.core import FileRange, bypass_range_list, range_is_fragmented
+
+
+def test_bypass_slices_by_readahead(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 300 * KIB)
+    plan = bypass_range_list(fs, "/f")
+    assert [r.start for r in plan.ranges] == [0, 128 * KIB, 256 * KIB]
+    assert plan.ranges[-1].end == 300 * KIB
+    assert all(r.count == 1 for r in plan.ranges)
+
+
+def test_bypass_custom_window(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 128 * KIB)
+    plan = bypass_range_list(fs, "/f", readahead_size=64 * KIB)
+    assert len(plan.ranges) == 2
+
+
+def test_bypass_empty_file(fs):
+    fs.create("/empty")
+    assert bypass_range_list(fs, "/empty").ranges == []
+
+
+def test_range_is_fragmented(fs):
+    target = fs.open("/f", o_direct=True, create=True)
+    dummy = fs.open("/d", o_direct=True, create=True)
+    now = 0.0
+    for i in range(4):
+        now = fs.write(target, i * 4 * KIB, 4 * KIB, now=now).finish_time
+        now = fs.write(dummy, i * 4 * KIB, 4 * KIB, now=now).finish_time
+    now = fs.write(target, 16 * KIB, 128 * KIB, now=now).finish_time
+    # the interleaved head is fragmented
+    assert range_is_fragmented(fs, "/f", FileRange(0, 16 * KIB))
+    # the single 128 KiB extent is not
+    assert not range_is_fragmented(fs, "/f", FileRange(16 * KIB, 144 * KIB))
+    # a single-block range can never be fragmented
+    assert not range_is_fragmented(fs, "/f", FileRange(0, 4 * KIB))

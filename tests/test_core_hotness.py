@@ -1,0 +1,60 @@
+"""Hotness filtering (Section 4.1.3)."""
+
+import pytest
+
+from repro.core import FileRange, FileRangeList, hotness_filter
+from repro.errors import InvalidArgument
+
+
+def rl(*ranges):
+    return FileRangeList(ino=1, path="/f", ranges=list(ranges))
+
+
+def test_full_criterion_keeps_everything():
+    original = rl(FileRange(0, 10, 1), FileRange(20, 30, 2))
+    assert hotness_filter(original, 1.0) is original
+
+
+def test_keeps_hottest_first():
+    filtered = hotness_filter(
+        rl(FileRange(0, 100, 1), FileRange(200, 300, 10)), 0.5
+    )
+    assert filtered.ranges == [FileRange(200, 300, 10)]
+
+
+def test_result_sorted_by_offset():
+    filtered = hotness_filter(
+        rl(FileRange(500, 600, 5), FileRange(0, 100, 5), FileRange(200, 300, 1)),
+        0.66,
+    )
+    assert [r.start for r in filtered.ranges] == [0, 500]
+
+
+def test_at_least_one_range_kept():
+    filtered = hotness_filter(rl(FileRange(0, 1000, 3)), 0.01)
+    assert len(filtered.ranges) == 1
+
+
+def test_byte_budget():
+    ranges = [FileRange(i * 100, i * 100 + 100, 10 - i) for i in range(10)]
+    filtered = hotness_filter(rl(*ranges), 0.3)
+    assert filtered.total_bytes == 300
+    assert all(r.count >= 8 for r in filtered.ranges)
+
+
+def test_tie_broken_by_offset():
+    filtered = hotness_filter(
+        rl(FileRange(100, 200, 2), FileRange(0, 100, 2)), 0.5
+    )
+    assert filtered.ranges == [FileRange(0, 100, 2)]
+
+
+def test_empty_list_passthrough():
+    empty = rl()
+    assert hotness_filter(empty, 0.5).ranges == []
+
+
+@pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+def test_criterion_validated(bad):
+    with pytest.raises(InvalidArgument):
+        hotness_filter(rl(FileRange(0, 10)), bad)

@@ -1,0 +1,94 @@
+"""Algorithm 1 (merging overlapped I/Os) and file range lists."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import FileRange, FileRangeList, merge_overlapped
+from repro.errors import InvalidArgument
+
+
+def test_paper_example():
+    """Section 4.1.2: I/Os over 1-40 and 31-60 merge into 1-60, count 2."""
+    merged = merge_overlapped([FileRange(1, 40), FileRange(31, 60)])
+    assert merged == [FileRange(1, 60, 2)]
+
+
+def test_touching_ranges_stay_separate():
+    merged = merge_overlapped([FileRange(0, 40), FileRange(40, 60)])
+    assert merged == [FileRange(0, 40, 1), FileRange(40, 60, 1)]
+
+
+def test_identical_ranges_accumulate_counts():
+    merged = merge_overlapped([FileRange(0, 10)] * 5)
+    assert merged == [FileRange(0, 10, 5)]
+
+
+def test_nested_range_absorbed():
+    merged = merge_overlapped([FileRange(0, 100), FileRange(20, 30)])
+    assert merged == [FileRange(0, 100, 2)]
+
+
+def test_unsorted_input():
+    merged = merge_overlapped([FileRange(50, 60), FileRange(0, 55)])
+    assert merged == [FileRange(0, 60, 2)]
+
+
+def test_counts_carry_through_merge():
+    merged = merge_overlapped([FileRange(0, 10, 3), FileRange(5, 20, 2)])
+    assert merged == [FileRange(0, 20, 5)]
+
+
+def test_empty():
+    assert merge_overlapped([]) == []
+
+
+def test_file_range_validation():
+    with pytest.raises(InvalidArgument):
+        FileRange(10, 10)
+    with pytest.raises(InvalidArgument):
+        FileRange(-1, 5)
+    with pytest.raises(InvalidArgument):
+        FileRange(0, 5, 0)
+
+
+def test_range_list_views():
+    rl = FileRangeList(ino=1, path="/f", ranges=[
+        FileRange(100, 200, 1), FileRange(0, 50, 9),
+    ])
+    assert rl.total_bytes == 150
+    assert [r.start for r in rl.sorted_by_start()] == [0, 100]
+    assert [r.count for r in rl.sorted_by_hotness()] == [9, 1]
+
+
+entries = st.lists(
+    st.tuples(st.integers(0, 500), st.integers(1, 80), st.integers(1, 4)).map(
+        lambda t: FileRange(t[0], t[0] + t[1], t[2])
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(entries)
+def test_merged_output_sorted_and_disjoint(ranges):
+    merged = merge_overlapped(ranges)
+    for a, b in zip(merged, merged[1:]):
+        assert a.end <= b.start  # disjoint, sorted (touching allowed)
+
+
+@given(entries)
+def test_merge_conserves_counts_and_coverage(ranges):
+    merged = merge_overlapped(ranges)
+    assert sum(r.count for r in merged) == sum(r.count for r in ranges)
+    # every input byte is covered by the output
+    for r in ranges:
+        assert any(m.start <= r.start and r.end <= m.end for m in merged)
+    # output bounds never exceed input bounds
+    assert min(m.start for m in merged) == min(r.start for r in ranges)
+    assert max(m.end for m in merged) == max(r.end for r in ranges)
+
+
+@given(entries)
+def test_merge_idempotent(ranges):
+    once = merge_overlapped(ranges)
+    assert merge_overlapped(once) == once

@@ -1,0 +1,24 @@
+"""Defrag reports."""
+
+from repro.core.report import DefragReport
+
+
+def test_elapsed_and_totals():
+    report = DefragReport(tool="x", started_at=1.0, finished_at=3.5,
+                          read_bytes=100, write_bytes=200)
+    assert report.elapsed == 2.5
+    assert report.total_io_bytes == 300
+
+
+def test_summary_fields():
+    report = DefragReport(tool="e4defrag")
+    report.fragments_before = {"/a": 10, "/b": 5}
+    report.fragments_after = {"/a": 1, "/b": 1}
+    report.ranges_examined = 4
+    report.ranges_migrated = 2
+    report.ranges_skipped_contiguous = 1
+    report.ranges_skipped_cold = 1
+    text = report.summary()
+    assert "e4defrag" in text
+    assert "15 -> 2" in text
+    assert "2/4" in text

@@ -1,0 +1,30 @@
+"""Device presets."""
+
+import pytest
+
+from repro.device import DEVICE_PRESETS, make_device
+from repro.errors import InvalidArgument
+
+
+@pytest.mark.parametrize("kind", sorted(DEVICE_PRESETS))
+def test_presets_construct(kind):
+    device = make_device(kind)
+    assert device.capacity > 0
+    assert device.name == kind
+
+
+def test_custom_capacity():
+    device = make_device("flash", capacity=1 << 30)
+    assert device.capacity == 1 << 30
+
+
+def test_unknown_kind():
+    with pytest.raises(InvalidArgument):
+        make_device("tape")
+
+
+def test_queuing_flags_match_paper():
+    assert make_device("flash").supports_queuing
+    assert make_device("optane").supports_queuing
+    assert not make_device("microsd").supports_queuing
+    assert not make_device("hdd").supports_queuing

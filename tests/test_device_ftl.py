@@ -1,0 +1,101 @@
+"""Page-mapping FTL: mapping, striping, invalidation, GC, wear."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device.ftl import PageMappingFtl
+from repro.errors import DeviceError
+
+
+def small_ftl(logical_pages=1024, channels=4, pages_per_block=16):
+    return PageMappingFtl(
+        logical_pages=logical_pages,
+        channels=channels,
+        pages_per_block=pages_per_block,
+        overprovision=0.25,
+    )
+
+
+def test_unwritten_pages_stripe_by_address():
+    ftl = small_ftl(channels=4)
+    assert [ftl.channel_of(i) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_writes_stripe_round_robin():
+    ftl = small_ftl(channels=4)
+    result = ftl.write(list(range(8)))
+    assert result.pages_per_channel == {0: 2, 1: 2, 2: 2, 3: 2}
+
+
+def test_mapping_follows_write():
+    ftl = small_ftl(channels=4)
+    ftl.write([100])  # first write goes to channel 0
+    assert ftl.channel_of(100) == 0
+    ftl.write([100])  # rewrite lands on the next channel
+    assert ftl.channel_of(100) == 1
+
+
+def test_overwrite_invalidates_old_page():
+    ftl = small_ftl()
+    ftl.write([5])
+    block, _ = ftl.mapping[5]
+    assert block.valid_count == 1
+    ftl.write([5])
+    assert block.valid_count == 0
+
+
+def test_invalidate_discard():
+    ftl = small_ftl()
+    ftl.write([1, 2, 3])
+    dropped = ftl.invalidate([1, 2, 3, 4])
+    assert dropped == 3
+    assert 1 not in ftl.mapping
+    # discarded pages read as address-striped again
+    assert ftl.channel_of(1) == 1
+
+
+def test_write_beyond_capacity_rejected():
+    ftl = small_ftl(logical_pages=10)
+    with pytest.raises(DeviceError):
+        ftl.write([10])
+
+
+def test_gc_reclaims_invalid_pages():
+    ftl = small_ftl(logical_pages=128, channels=1, pages_per_block=8)
+    # overwrite a small working set far beyond physical capacity
+    for _ in range(40):
+        ftl.write(list(range(16)))
+    assert ftl.total_erases > 0
+    assert ftl.write_amplification >= 1.0
+    # mapping stays consistent through GC
+    for lpn in range(16):
+        block, slot = ftl.mapping[lpn]
+        assert block.pages[slot] == lpn
+
+
+def test_write_amplification_grows_under_pressure():
+    """Cold data interleaved with hot churn forces GC relocations."""
+    tight = small_ftl(logical_pages=64, channels=1, pages_per_block=8)
+    # lay down cold (0..31) and hot (32..47) pages interleaved, so every
+    # erase block holds some never-invalidated cold pages
+    interleaved = [p for pair in zip(range(32), range(32, 48)) for p in pair]
+    tight.write(interleaved + list(range(16, 32)))
+    for _ in range(60):
+        tight.write(list(range(32, 48)))  # churn only the hot set
+    assert tight.total_erases > 0
+    assert tight.write_amplification > 1.0
+    assert tight.relocated_pages_total > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+def test_mapping_always_consistent(lpns):
+    """Model check: after any write sequence, every mapped lpn's slot
+    holds that lpn, and valid counts match the mapping."""
+    ftl = small_ftl(logical_pages=64, channels=2, pages_per_block=8)
+    for lpn in lpns:
+        ftl.write([lpn])
+    for lpn, (block, slot) in ftl.mapping.items():
+        assert block.pages[slot] == lpn
+    assert len(ftl.mapping) == len(set(lpns))
+    assert ftl.host_pages_written == len(lpns)

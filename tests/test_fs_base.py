@@ -1,0 +1,176 @@
+"""The VFS syscall surface: namespace, reads, writes, fsync, locks."""
+
+import pytest
+
+from repro.constants import BLOCK_SIZE, KIB
+from repro.errors import FileExists, FileLocked, FileNotFound, InvalidArgument
+from repro.fs.base import FallocMode
+
+
+def test_create_open_exists(fs):
+    fs.create("/a")
+    assert fs.exists("/a")
+    with pytest.raises(FileExists):
+        fs.create("/a")
+    handle = fs.open("/a")
+    assert handle.size == 0
+    with pytest.raises(FileNotFound):
+        fs.open("/missing")
+    fs.open("/missing", create=True)
+    assert fs.exists("/missing")
+
+
+def test_listdir(fs):
+    for name in ("/d/a", "/d/b", "/other"):
+        fs.create(name)
+    assert fs.listdir("/d") == ["/d/a", "/d/b"]
+    assert fs.listdir("/d/") == ["/d/a", "/d/b"]
+
+
+def test_write_read_roundtrip_buffered(fs):
+    handle = fs.open("/f", create=True)
+    data = bytes(range(256)) * 64
+    fs.write(handle, 100, data=data)
+    result = fs.read(handle, 100, len(data), want_data=True)
+    assert result.data == data
+
+
+def test_write_read_roundtrip_direct(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    data = b"\xab" * (64 * KIB)
+    fs.write(handle, 0, data=data)
+    result = fs.read(handle, 0, 64 * KIB, want_data=True)
+    assert result.data == data
+
+
+def test_o_direct_requires_alignment(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 8 * KIB)
+    with pytest.raises(InvalidArgument):
+        fs.read(handle, 1, 4 * KIB)
+    with pytest.raises(InvalidArgument):
+        fs.write(handle, 4 * KIB, 100)
+
+
+def test_read_clamps_to_eof(fs):
+    handle = fs.open("/f", create=True)
+    fs.write(handle, 0, data=b"x" * 100)
+    result = fs.read(handle, 50, 1000, want_data=True)
+    assert len(result.data) == 50
+    empty = fs.read(handle, 200, 10, want_data=True)
+    assert empty.data == b""
+
+
+def test_holes_read_as_zeros(fs):
+    handle = fs.open("/f", create=True)
+    fs.write(handle, 8 * KIB, data=b"end")
+    result = fs.read(handle, 0, 4 * KIB, want_data=True)
+    assert result.data == b"\x00" * 4 * KIB
+
+
+def test_buffered_write_defers_io(fs):
+    handle = fs.open("/f", create=True)
+    result = fs.write(handle, 0, 64 * KIB)
+    assert result.requests == 0  # nothing hit the device yet
+    sync = fs.fsync(handle)
+    assert sync.requests > 0
+    assert fs.device.stats.write_bytes >= 64 * KIB
+
+
+def test_odirect_write_hits_device(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    result = fs.write(handle, 0, 64 * KIB)
+    assert result.requests > 0
+    assert fs.device.stats.write_bytes >= 64 * KIB
+
+
+def test_sequential_buffered_reads_cached(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    now = fs.write(handle, 0, 512 * KIB).finish_time
+    reader = fs.open("/f")
+    requests = []
+    for i in range(16):
+        result = fs.read(reader, i * 32 * KIB, 32 * KIB, now=now)
+        now = result.finish_time
+        requests.append(result.requests)
+    # one 128 KiB fetch per readahead window, cache hits in between
+    assert requests == [1, 0, 0, 0] * 4
+
+
+def test_unlink_frees_space(fs):
+    free_before = fs.free_space.free_bytes
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 256 * KIB)
+    assert fs.free_space.free_bytes == free_before - 256 * KIB
+    fs.unlink("/f")
+    assert fs.free_space.free_bytes == free_before
+    assert not fs.exists("/f")
+
+
+def test_truncate_shrinks(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 64 * KIB)
+    free_mid = fs.free_space.free_bytes
+    fs.truncate(handle, 32 * KIB)
+    assert handle.size == 32 * KIB
+    assert fs.free_space.free_bytes == free_mid + 32 * KIB
+
+
+def test_truncate_grow_leaves_hole(fs):
+    handle = fs.open("/f", create=True)
+    fs.truncate(handle, 1000)
+    assert handle.size == 1000
+    result = fs.read(handle, 0, 1000, want_data=True)
+    assert result.data == b"\x00" * 1000
+
+
+def test_locking(fs):
+    handle = fs.open("/f", o_direct=True, create=True, app="writer")
+    fs.write(handle, 0, 4 * KIB)
+    fs.lock_file("/f", "fragpicker")
+    with pytest.raises(FileLocked):
+        fs.write(handle, 0, 4 * KIB)
+    with pytest.raises(FileLocked):
+        fs.unlock_file("/f", "someone-else")
+    fs.unlock_file("/f", "fragpicker")
+    fs.write(handle, 0, 4 * KIB)  # unlocked again
+
+
+def test_monitor_hook(fs):
+    events = []
+    fs.attach_monitor(events.append)
+    handle = fs.open("/f", o_direct=True, create=True, app="me")
+    fs.write(handle, 0, 4 * KIB)
+    fs.read(handle, 0, 4 * KIB)
+    fs.detach_monitor(events.append)
+    fs.read(handle, 0, 4 * KIB)
+    assert [e.op for e in events] == ["write", "read"]
+    assert events[0].app == "me"
+    assert events[0].o_direct
+
+
+def test_drop_caches(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    now = fs.write(handle, 0, 128 * KIB).finish_time
+    reader = fs.open("/f")
+    fs.read(reader, 0, 128 * KIB, now=now)
+    assert len(fs.page_cache) > 0
+    fs.drop_caches()
+    assert len(fs.page_cache) == 0
+
+
+def test_fsync_commits_metadata_journal(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    now = fs.write(handle, 0, 4 * KIB).finish_time
+    meta_before = fs.tracer.tag("meta").write_bytes
+    fs.fsync(handle, now=now)
+    assert fs.tracer.tag("meta").write_bytes > meta_before
+
+
+def test_time_never_goes_backwards(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    now = 0.0
+    for i in range(10):
+        result = fs.write(handle, i * 4 * KIB, 4 * KIB, now=now)
+        assert result.finish_time >= now
+        now = result.finish_time

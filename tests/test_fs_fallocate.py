@@ -1,0 +1,91 @@
+"""fallocate: allocation and punch-hole semantics (FragPicker's tools)."""
+
+import pytest
+
+from repro.constants import BLOCK_SIZE, KIB
+from repro.errors import InvalidArgument
+from repro.fs.base import FallocMode
+from repro.fs.fiemap import fiemap
+
+
+def test_allocate_backs_holes(fs):
+    handle = fs.open("/f", create=True)
+    fs.fallocate(handle, FallocMode.ALLOCATE, 0, 64 * KIB)
+    inode = fs.inode_of("/f")
+    assert inode.extent_map.is_fully_mapped(0, 64 * KIB)
+    assert inode.size == 64 * KIB
+
+
+def test_allocate_contiguous_when_possible(fs):
+    handle = fs.open("/f", create=True)
+    fs.fallocate(handle, FallocMode.ALLOCATE, 0, 256 * KIB)
+    assert fs.inode_of("/f").fragment_count() == 1
+
+
+def test_allocate_skips_mapped_parts(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 8 * KIB)
+    extents_before = fs.inode_of("/f").extent_map.extents()
+    fs.fallocate(handle, FallocMode.ALLOCATE, 0, 16 * KIB)
+    # original mapping untouched, hole behind it filled
+    assert fs.inode_of("/f").extent_map.map_range(0, 8 * KIB) == [
+        (extents_before[0].disk_offset, 8 * KIB)
+    ]
+    assert fs.inode_of("/f").extent_map.is_fully_mapped(0, 16 * KIB)
+
+
+def test_punch_frees_blocks(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 64 * KIB)
+    free_before = fs.free_space.free_bytes
+    fs.fallocate(handle, FallocMode.PUNCH_HOLE, 16 * KIB, 32 * KIB)
+    assert fs.free_space.free_bytes == free_before + 32 * KIB
+    assert fs.inode_of("/f").extent_map.holes(0, 64 * KIB) == [(16 * KIB, 32 * KIB)]
+    # size unchanged by punching
+    assert fs.inode_of("/f").size == 64 * KIB
+
+
+def test_punch_zeroes_content(fs):
+    handle = fs.open("/f", create=True)
+    fs.write(handle, 0, data=b"A" * 16 * KIB)
+    fs.fallocate(handle, FallocMode.PUNCH_HOLE, 4 * KIB, 8 * KIB)
+    data = fs.read(handle, 0, 16 * KIB, want_data=True).data
+    assert data[: 4 * KIB] == b"A" * 4 * KIB
+    assert data[4 * KIB : 12 * KIB] == b"\x00" * 8 * KIB
+    assert data[12 * KIB :] == b"A" * 4 * KIB
+
+
+def test_punch_unaligned_zeroes_edges_keeps_blocks(fs):
+    """Linux semantics: partial blocks are zeroed, not deallocated —
+    the data-loss hazard FragPicker's alignment avoids."""
+    handle = fs.open("/f", create=True)
+    fs.write(handle, 0, data=b"B" * 16 * KIB)
+    fs.fsync(handle)
+    free_before = fs.free_space.free_bytes
+    fs.fallocate(handle, FallocMode.PUNCH_HOLE, 2 * KIB, 4 * KIB)  # [2K, 6K)
+    # only zero whole blocks between aligned bounds [4K, 4K) -> none freed
+    assert fs.free_space.free_bytes == free_before
+    data = fs.read(handle, 0, 8 * KIB, want_data=True).data
+    assert data[2 * KIB : 6 * KIB] == b"\x00" * 4 * KIB
+    assert data[: 2 * KIB] == b"B" * 2 * KIB
+
+
+def test_punch_then_allocate_relocates(fs):
+    """The FragPicker migration primitive: punch + allocate yields fresh,
+    contiguous blocks."""
+    handle = fs.open("/f", o_direct=True, create=True)
+    dummy = fs.open("/dummy", o_direct=True, create=True)
+    now = 0.0
+    for i in range(8):  # interleave to fragment /f
+        now = fs.write(handle, i * 4 * KIB, 4 * KIB, now=now).finish_time
+        now = fs.write(dummy, i * 4 * KIB, 4 * KIB, now=now).finish_time
+    assert fs.inode_of("/f").fragment_count() == 8
+    fs.fallocate(handle, FallocMode.PUNCH_HOLE, 0, 32 * KIB, now=now)
+    fs.fallocate(handle, FallocMode.ALLOCATE, 0, 32 * KIB, now=now)
+    assert fs.inode_of("/f").fragment_count() == 1
+
+
+def test_fallocate_rejects_bad_length(fs):
+    handle = fs.open("/f", create=True)
+    with pytest.raises(InvalidArgument):
+        fs.fallocate(handle, FallocMode.ALLOCATE, 0, 0)

@@ -1,0 +1,55 @@
+"""FIEMAP / filefrag equivalents."""
+
+from repro.constants import KIB
+from repro.fs.fiemap import fiemap, fragment_count, is_fragmented
+
+
+def fragmented_file(fs, path="/f", pieces=4):
+    handle = fs.open(path, o_direct=True, create=True)
+    dummy = fs.open(path + ".d", o_direct=True, create=True)
+    now = 0.0
+    for i in range(pieces):
+        now = fs.write(handle, i * 8 * KIB, 8 * KIB, now=now).finish_time
+        now = fs.write(dummy, i * 8 * KIB, 8 * KIB, now=now).finish_time
+    return handle
+
+
+def test_fiemap_reports_extents(fs):
+    fragmented_file(fs, pieces=3)
+    extents = fiemap(fs, "/f")
+    assert len(extents) == 3
+    assert extents[0].logical == 0
+    assert extents[-1].is_last
+    assert all(e.length == 8 * KIB for e in extents)
+
+
+def test_fiemap_merges_contiguous(fs):
+    handle = fs.open("/g", o_direct=True, create=True)
+    now = fs.write(handle, 0, 8 * KIB).finish_time
+    fs.write(handle, 8 * KIB, 8 * KIB, now=now)  # allocated right after
+    extents = fiemap(fs, "/g")
+    assert len(extents) == 1
+    assert extents[0].length == 16 * KIB
+
+
+def test_fiemap_range_query(fs):
+    fragmented_file(fs, pieces=4)
+    extents = fiemap(fs, "/f", offset=8 * KIB, length=16 * KIB)
+    assert len(extents) == 2
+    assert extents[0].logical == 8 * KIB
+
+
+def test_fragment_count(fs):
+    fragmented_file(fs, pieces=5)
+    assert fragment_count(fs, "/f") == 5
+    assert fragment_count(fs, "/f.d") == 5
+
+
+def test_is_fragmented(fs):
+    fragmented_file(fs, pieces=4)
+    assert is_fragmented(fs, "/f", 0, 32 * KIB)
+    # within one piece: not fragmented
+    assert not is_fragmented(fs, "/f", 0, 8 * KIB)
+    # a hole-only or empty range is not fragmented
+    empty = fs.open("/empty", create=True)
+    assert not is_fragmented(fs, "/empty", 0, 8 * KIB)

@@ -1,0 +1,125 @@
+"""Free-space manager: allocation policies and invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import BLOCK_SIZE as B
+from repro.errors import InvalidArgument, NoSpaceError
+from repro.fs import FreeSpaceManager
+
+
+def manager(blocks=100):
+    return FreeSpaceManager(0, blocks * B)
+
+
+def test_alloc_contiguous_first_fit():
+    m = manager()
+    assert m.alloc_contiguous(10 * B) == 0
+    assert m.alloc_contiguous(10 * B) == 10 * B
+
+
+def test_alloc_with_goal():
+    m = manager()
+    m.alloc_at(0, 10 * B)
+    m.alloc_at(20 * B, 10 * B)
+    # goal inside the second gap: allocate after it, wrapping if needed
+    start = m.alloc_contiguous(5 * B, goal=30 * B)
+    assert start == 30 * B
+
+
+def test_goal_wraps_around():
+    m = manager(10)
+    m.alloc_at(5 * B, 5 * B)
+    start = m.alloc_contiguous(3 * B, goal=8 * B)
+    assert start == 0  # nothing after the goal; wraps to the front
+
+
+def test_alloc_stitches_in_address_order():
+    m = manager(100)
+    # free space: [0,10) [20,30) [40,100) — no single run holds 65 blocks
+    m.alloc_at(10 * B, 10 * B)
+    m.alloc_at(30 * B, 10 * B)
+    runs = m.alloc(65 * B)
+    assert runs == [(0, 10 * B), (20 * B, 10 * B), (40 * B, 45 * B)]
+
+
+def test_alloc_no_space():
+    m = manager(10)
+    with pytest.raises(NoSpaceError):
+        m.alloc(11 * B)
+    with pytest.raises(NoSpaceError):
+        m.alloc_contiguous(11 * B)
+
+
+def test_free_coalesces():
+    m = manager(100)
+    m.alloc_at(0, 30 * B)
+    m.free(0, 10 * B)
+    m.free(20 * B, 10 * B)  # coalesces with the [30, 100) tail
+    assert m.stats().run_count == 2
+    m.free(10 * B, 10 * B)  # bridges everything
+    assert m.stats().run_count == 1
+    assert m.free_bytes == 100 * B
+
+
+def test_double_free_detected():
+    m = manager(10)
+    m.alloc_at(0, 5 * B)
+    m.free(0, 5 * B)
+    with pytest.raises(InvalidArgument):
+        m.free(0, 5 * B)
+
+
+def test_alloc_at_occupied():
+    m = manager(10)
+    m.alloc_at(0, 5 * B)
+    with pytest.raises(NoSpaceError):
+        m.alloc_at(4 * B, 2 * B)
+
+
+def test_unaligned_rejected():
+    m = manager(10)
+    with pytest.raises(InvalidArgument):
+        m.alloc(B + 1)
+    with pytest.raises(InvalidArgument):
+        FreeSpaceManager(1, 2 * B)
+
+
+def test_stats():
+    m = manager(100)
+    m.alloc_at(10 * B, 10 * B)
+    stats = m.stats()
+    assert stats.free_bytes == 90 * B
+    assert stats.run_count == 2
+    assert stats.largest_run == 80 * B
+
+
+actions = st.lists(
+    st.tuples(st.sampled_from(["alloc", "alloc_contig"]), st.integers(1, 20)),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(actions)
+def test_alloc_free_roundtrip_conserves_space(seq):
+    m = manager(200)
+    total = 200 * B
+    held = []
+    for kind, blocks in seq:
+        length = blocks * B
+        try:
+            if kind == "alloc_contig":
+                start = m.alloc_contiguous(length)
+                held.append((start, length))
+            else:
+                held.extend(m.alloc(length))
+        except NoSpaceError:
+            continue
+        m.check_invariants()
+    assert m.free_bytes == total - sum(l for _, l in held)
+    for start, length in held:
+        m.free(start, length)
+        m.check_invariants()
+    assert m.free_bytes == total
+    assert m.stats().run_count == 1

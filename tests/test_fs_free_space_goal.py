@@ -1,0 +1,61 @@
+"""Goal-directed contiguous allocation edge cases (mid-run goals)."""
+
+import pytest
+
+from repro.constants import BLOCK_SIZE as B
+from repro.errors import NoSpaceError
+from repro.fs import FreeSpaceManager
+
+
+def test_goal_inside_run_allocates_at_goal():
+    m = FreeSpaceManager(0, 100 * B)
+    start = m.alloc_contiguous(10 * B, goal=37 * B)
+    assert start == 37 * B
+    # the head of the run survived
+    assert (0, 37 * B) in m.runs()
+
+
+def test_goal_inside_run_with_small_tail_moves_on():
+    m = FreeSpaceManager(0, 100 * B)
+    # free: [0, 50) and [60, 100); goal late in the first run
+    m.alloc_at(50 * B, 10 * B)
+    start = m.alloc_contiguous(20 * B, goal=45 * B)
+    assert start == 60 * B  # tail after goal too small -> next run
+
+
+def test_goal_wraps_to_pivot_run_start():
+    m = FreeSpaceManager(0, 100 * B)
+    # only the run containing the goal is big enough
+    m.alloc_at(60 * B, 40 * B)
+    start = m.alloc_contiguous(50 * B, goal=30 * B)
+    assert start == 0  # wrapped back to the pivot run's start
+
+
+def test_goal_exactly_at_run_start():
+    m = FreeSpaceManager(0, 100 * B)
+    m.alloc_at(0, 10 * B)
+    start = m.alloc_contiguous(5 * B, goal=10 * B)
+    assert start == 10 * B
+
+
+def test_goal_beyond_everything_wraps():
+    m = FreeSpaceManager(0, 100 * B)
+    start = m.alloc_contiguous(10 * B, goal=99 * B)
+    # tail after goal is 1 block; wraps to the run start
+    assert start == 0
+
+
+def test_no_space_still_raised():
+    m = FreeSpaceManager(0, 10 * B)
+    m.alloc_at(0, 5 * B)
+    with pytest.raises(NoSpaceError):
+        m.alloc_contiguous(6 * B, goal=7 * B)
+
+
+def test_invariants_after_mid_run_allocation():
+    m = FreeSpaceManager(0, 100 * B)
+    m.alloc_contiguous(10 * B, goal=37 * B)
+    m.check_invariants()
+    m.free(37 * B, 10 * B)
+    m.check_invariants()
+    assert m.stats().run_count == 1

@@ -1,0 +1,67 @@
+"""Page-cache pressure: dirty eviction must trigger writeback."""
+
+import pytest
+
+from repro.constants import GIB, KIB
+from repro.device import make_device
+from repro.fs import make_filesystem
+
+
+def tight_fs(pages=16):
+    device = make_device("optane", capacity=1 * GIB)
+    return make_filesystem("ext4", device, page_cache_pages=pages)
+
+
+def test_dirty_eviction_writes_back():
+    fs = tight_fs(pages=16)
+    handle = fs.open("/f", create=True)
+    now = 0.0
+    # dirty far more pages than the cache holds
+    for i in range(64):
+        now = fs.write(handle, i * 4 * KIB, 4 * KIB, now=now).finish_time
+    # most pages had to be written back under pressure
+    assert fs.device.stats.write_bytes >= 40 * 4 * KIB
+    # whatever remains dirty fits in the cache
+    assert fs.page_cache.dirty_count() <= 16
+
+
+def test_evicted_data_survives():
+    fs = tight_fs(pages=8)
+    handle = fs.open("/f", create=True)
+    now = 0.0
+    payload = {}
+    for i in range(32):
+        data = bytes([i + 1]) * (4 * KIB)
+        payload[i] = data
+        now = fs.write(handle, i * 4 * KIB, data=data, now=now).finish_time
+    now = fs.fsync(handle, now=now).finish_time
+    fs.drop_caches()
+    for i in (0, 7, 15, 31):
+        got = fs.read(handle, i * 4 * KIB, 4 * KIB, now=now, want_data=True).data
+        assert got == payload[i], i
+
+
+def test_read_pressure_evicts_clean_pages_silently():
+    fs = tight_fs(pages=8)
+    handle = fs.open("/f", o_direct=True, create=True)
+    now = fs.write(handle, 0, 256 * KIB).finish_time
+    reader = fs.open("/f")
+    for i in range(8):
+        now = fs.read(reader, i * 32 * KIB, 32 * KIB, now=now).finish_time
+    assert len(fs.page_cache) <= 8
+    assert fs.page_cache.dirty_count() == 0
+
+
+def test_hdd_warning():
+    fs = make_filesystem("ext4", make_device("hdd"))
+    handle = fs.open("/f", o_direct=True, create=True)
+    dummy = fs.open("/d", o_direct=True, create=True)
+    now = 0.0
+    for i in range(4):
+        now = fs.write(handle, i * 4 * KIB, 4 * KIB, now=now).finish_time
+        now = fs.write(dummy, i * 4 * KIB, 4 * KIB, now=now).finish_time
+    from repro.core import FragPicker
+
+    picker = FragPicker(fs)
+    with pytest.warns(RuntimeWarning, match="seek-time"):
+        picker.defragment_bypass(["/f"], now=now)

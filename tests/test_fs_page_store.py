@@ -1,0 +1,81 @@
+"""Sparse page store (logical content)."""
+
+from hypothesis import given, strategies as st
+
+from repro.constants import BLOCK_SIZE
+from repro.fs.inode import PageStore
+
+
+def test_unwritten_reads_zero():
+    store = PageStore()
+    assert store.read(1, 0, 100) == b"\x00" * 100
+
+
+def test_roundtrip_unaligned():
+    store = PageStore()
+    store.write(1, 1000, b"hello world")
+    assert store.read(1, 1000, 11) == b"hello world"
+    assert store.read(1, 990, 10) == b"\x00" * 10
+
+
+def test_cross_page_write():
+    store = PageStore()
+    data = bytes(range(256)) * 40  # 10240 bytes, crosses 3 pages
+    store.write(1, BLOCK_SIZE - 100, data)
+    assert store.read(1, BLOCK_SIZE - 100, len(data)) == data
+
+
+def test_overwrite():
+    store = PageStore()
+    store.write(1, 0, b"aaaa")
+    store.write(1, 2, b"bb")
+    assert store.read(1, 0, 4) == b"aabb"
+
+
+def test_inodes_isolated():
+    store = PageStore()
+    store.write(1, 0, b"one")
+    store.write(2, 0, b"two")
+    assert store.read(1, 0, 3) == b"one"
+    assert store.read(2, 0, 3) == b"two"
+
+
+def test_zero_range_partial_and_full_pages():
+    store = PageStore()
+    store.write(1, 0, b"x" * (3 * BLOCK_SIZE))
+    store.zero_range(1, 100, 2 * BLOCK_SIZE)
+    data = store.read(1, 0, 3 * BLOCK_SIZE)
+    assert data[:100] == b"x" * 100
+    assert data[100 : 100 + 2 * BLOCK_SIZE] == b"\x00" * (2 * BLOCK_SIZE)
+    assert data[100 + 2 * BLOCK_SIZE :] == b"x" * (BLOCK_SIZE - 100)
+
+
+def test_any_content():
+    store = PageStore()
+    assert not store.any_content(1, 0, BLOCK_SIZE)
+    store.write(1, 5 * BLOCK_SIZE, b"data")
+    assert store.any_content(1, 5 * BLOCK_SIZE, 10)
+    assert store.any_content(1, 0, 6 * BLOCK_SIZE)
+    assert not store.any_content(1, 0, 5 * BLOCK_SIZE)
+
+
+def test_drop():
+    store = PageStore()
+    store.write(1, 0, b"gone")
+    store.drop(1)
+    assert store.read(1, 0, 4) == b"\x00" * 4
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5000), st.binary(min_size=1, max_size=200)),
+        max_size=20,
+    )
+)
+def test_matches_bytearray_model(writes):
+    store = PageStore()
+    model = bytearray(6000)
+    for offset, data in writes:
+        store.write(7, offset, data)
+        model[offset : offset + len(data)] = data
+    assert store.read(7, 0, 6000) == bytes(model)

@@ -1,0 +1,111 @@
+"""Ext4 / F2FS / Btrfs update policies."""
+
+import pytest
+
+from repro.constants import KIB, MIB
+from repro.device import make_device
+from repro.constants import GIB
+from repro.fs import make_filesystem
+from repro.fs.f2fs import SEGMENT_SIZE
+
+
+def disk_map(fs, path, length):
+    return fs.inode_of(path).extent_map.disk_ranges(0, length)
+
+
+def test_ext4_updates_in_place(fs):
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 64 * KIB)
+    before = disk_map(fs, "/f", 64 * KIB)
+    fs.write(handle, 0, 64 * KIB)
+    assert disk_map(fs, "/f", 64 * KIB) == before
+
+
+def test_ext4_delayed_allocation_contiguous():
+    fs = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    handle = fs.open("/f", create=True)
+    # buffered writes in random order; allocation happens at fsync
+    for page in (3, 1, 0, 2):
+        fs.write(handle, page * 4 * KIB, 4 * KIB)
+    assert fs.inode_of("/f").extent_map.mapped_bytes == 0
+    fs.fsync(handle)
+    assert fs.inode_of("/f").fragment_count() == 1
+
+
+def test_f2fs_rewrite_moves_data_when_ipu_off():
+    fs = make_filesystem("f2fs", make_device("flash", capacity=1 * GIB))
+    fs.set_ipu(False)
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 64 * KIB)
+    before = disk_map(fs, "/f", 64 * KIB)
+    fs.write(handle, 0, 64 * KIB)
+    assert disk_map(fs, "/f", 64 * KIB) != before
+
+
+def test_f2fs_ipu_knob():
+    fs = make_filesystem("f2fs", make_device("flash", capacity=1 * GIB))
+    assert fs.ipu_enabled  # adaptive IPU on by default
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 64 * KIB)
+    before = disk_map(fs, "/f", 64 * KIB)
+    fs.write(handle, 0, 64 * KIB)  # in place
+    assert disk_map(fs, "/f", 64 * KIB) == before
+    fs.set_ipu(False)
+    fs.write(handle, 0, 64 * KIB)  # now relocates
+    assert disk_map(fs, "/f", 64 * KIB) != before
+    assert fs.sysfs["ipu_policy"] == "0"
+
+
+def test_f2fs_log_allocates_sequentially():
+    fs = make_filesystem("f2fs", make_device("flash", capacity=1 * GIB))
+    a = fs.open("/a", o_direct=True, create=True)
+    b = fs.open("/b", o_direct=True, create=True)
+    fs.write(a, 0, 16 * KIB)
+    fs.write(b, 0, 16 * KIB)
+    ra = disk_map(fs, "/a", 16 * KIB)
+    rb = disk_map(fs, "/b", 16 * KIB)
+    # /b lands immediately after /a in the log
+    assert rb[0][0] == ra[0][0] + 16 * KIB
+
+
+def test_f2fs_old_blocks_freed_on_move():
+    fs = make_filesystem("f2fs", make_device("flash", capacity=1 * GIB))
+    fs.set_ipu(False)
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 64 * KIB)
+    free_before = fs.free_space.free_bytes
+    fs.write(handle, 0, 64 * KIB)
+    # the new copy comes from the already-carved log segment, the old
+    # blocks return to the pool: free space *grows* by the rewrite size
+    assert fs.free_space.free_bytes == free_before + 64 * KIB
+
+
+def test_btrfs_always_cow():
+    fs = make_filesystem("btrfs", make_device("optane", capacity=1 * GIB))
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 64 * KIB)
+    before = disk_map(fs, "/f", 64 * KIB)
+    fs.write(handle, 0, 64 * KIB)
+    after = disk_map(fs, "/f", 64 * KIB)
+    assert after != before
+
+
+def test_btrfs_cow_frees_old_copy():
+    fs = make_filesystem("btrfs", make_device("optane", capacity=1 * GIB))
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 1 * MIB)
+    free_after_first = fs.free_space.free_bytes
+    for _ in range(5):
+        fs.write(handle, 0, 1 * MIB)
+        assert fs.free_space.free_bytes == free_after_first
+
+
+def test_interleaved_writers_fragment_each_other(any_fs):
+    fs = any_fs
+    a = fs.open("/a", o_direct=True, create=True)
+    b = fs.open("/b", o_direct=True, create=True)
+    now = 0.0
+    for i in range(16):
+        now = fs.write(a, i * 4 * KIB, 4 * KIB, now=now).finish_time
+        now = fs.write(b, i * 4 * KIB, 4 * KIB, now=now).finish_time
+    assert fs.inode_of("/a").fragment_count() >= 8

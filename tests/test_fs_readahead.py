@@ -1,0 +1,51 @@
+"""Readahead: sequential detection and windowing."""
+
+from repro.constants import KIB
+from repro.fs import ReadaheadState
+
+
+def test_first_read_at_zero_is_sequential():
+    ra = ReadaheadState()
+    plan = ra.plan(0, 32 * KIB, file_size=10_000 * KIB)
+    assert plan.sequential
+    assert plan.fetch_start == 0
+    assert plan.fetch_end == 128 * KIB
+
+
+def test_reads_inside_window_fetch_nothing_new():
+    ra = ReadaheadState()
+    ra.plan(0, 32 * KIB, file_size=10_000 * KIB)
+    plan = ra.plan(32 * KIB, 32 * KIB, file_size=10_000 * KIB)
+    assert plan.sequential
+    # fetch range stays within the already-fetched window
+    assert plan.fetch_end <= 128 * KIB
+
+
+def test_window_extends_when_crossed():
+    ra = ReadaheadState()
+    ra.plan(0, 32 * KIB, file_size=10_000 * KIB)
+    for offset in (32, 64, 96):
+        ra.plan(offset * KIB, 32 * KIB, file_size=10_000 * KIB)
+    plan = ra.plan(128 * KIB, 32 * KIB, file_size=10_000 * KIB)
+    assert plan.fetch_end == 256 * KIB
+
+
+def test_random_read_fetches_exact():
+    ra = ReadaheadState()
+    ra.plan(0, 32 * KIB, file_size=10_000 * KIB)
+    plan = ra.plan(999 * 4 * KIB, 8 * KIB, file_size=10_000 * KIB)
+    assert not plan.sequential
+    assert plan.length == 8 * KIB
+
+
+def test_clamped_to_file_size():
+    ra = ReadaheadState()
+    plan = ra.plan(0, 32 * KIB, file_size=48 * KIB)
+    assert plan.fetch_end == 48 * KIB
+
+
+def test_unaligned_request_block_aligned():
+    ra = ReadaheadState()
+    plan = ra.plan(1000, 1000, file_size=10_000 * KIB)
+    assert plan.fetch_start == 0
+    assert plan.fetch_end % (4 * KIB) == 0

@@ -1,0 +1,117 @@
+"""Cross-stack integration tests."""
+
+import pytest
+
+from repro.constants import GIB, KIB, MIB
+from repro.core import FragPicker, FragPickerConfig
+from repro.core.report import DefragReport
+from repro.device import make_device
+from repro.fs import make_filesystem
+from repro.sim import run_concurrently
+from repro.tools import make_conventional
+from repro.trace import SyscallMonitor
+from repro.workloads.kvstore import LsmConfig, LsmStore
+from repro.workloads.synthetic import make_paper_synthetic_file, sequential_read
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+from repro.bench.harness import corun_until_background_done
+
+
+@pytest.mark.parametrize("fs_type", ["ext4", "f2fs", "btrfs"])
+@pytest.mark.parametrize("device_kind", ["optane", "flash", "microsd", "hdd"])
+def test_fragpicker_improves_reads_everywhere(fs_type, device_kind):
+    """The headline claim across the full fs x device matrix."""
+    fs = make_filesystem(fs_type, make_device(device_kind))
+    now = make_paper_synthetic_file(fs, "/data", 2 * MIB)
+    now, before = sequential_read(fs, "/data", now=now)
+    report = FragPicker(fs).defragment_bypass(["/data"], now=now)
+    now, after = sequential_read(fs, "/data", now=report.finished_at)
+    assert after > before, (fs_type, device_kind)
+    assert report.write_bytes <= 2 * MIB
+
+
+@pytest.mark.parametrize("fs_type", ["ext4", "f2fs", "btrfs"])
+def test_fragpicker_matches_conventional_cheaper(fs_type):
+    fs = make_filesystem(fs_type, make_device("optane", capacity=1 * GIB))
+    now = make_paper_synthetic_file(fs, "/data", 2 * MIB)
+    fp_report = FragPicker(fs).defragment_bypass(["/data"], now=now)
+    now, fp_perf = sequential_read(fs, "/data", now=fp_report.finished_at)
+
+    fs2 = make_filesystem(fs_type, make_device("optane", capacity=1 * GIB))
+    now2 = make_paper_synthetic_file(fs2, "/data", 2 * MIB)
+    conv_report = make_conventional(fs2).defragment(["/data"], now=now2)
+    now2, conv_perf = sequential_read(fs2, "/data", now=conv_report.finished_at)
+
+    assert fp_perf > 0.95 * conv_perf
+    assert fp_report.write_bytes < conv_report.write_bytes
+
+
+def test_kvstore_values_survive_live_defrag():
+    """Defragment the store's files while the workload runs; every value
+    must still read back correctly afterwards."""
+    fs = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    store = LsmStore(fs, LsmConfig(block_size=32 * KIB, memtable_bytes=256 * KIB))
+    workload = YcsbWorkload(store, YcsbConfig(record_count=500, value_size=256))
+    now = workload.load(0.0)
+    picker = FragPicker(fs)
+    plans = picker.bypass_plans(store.files())
+    report = DefragReport(tool="fragpicker")
+    fg_ctx, _ = corun_until_background_done(
+        workload.actor(duration=float("inf")),
+        picker.actor(plans, report_out=report),
+        start=now,
+    )
+    now = fg_ctx.now
+    for i in range(0, 500, 7):
+        now, value = store.get(b"user%012d" % i, now)
+        assert value is not None and len(value) == 256, i
+
+
+def test_analysis_targets_only_traced_app():
+    """Per-application tracing: FragPicker migrates only what the traced
+    application touched (the paper's targeted-defrag capability)."""
+    fs = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    now = make_paper_synthetic_file(fs, "/hot", 1 * MIB)
+    now = make_paper_synthetic_file(fs, "/cold", 1 * MIB, app="other")
+    picker = FragPicker(fs)
+    with picker.monitor(apps={"bench"}) as monitor:
+        now, _ = sequential_read(fs, "/hot", now=now, app="bench")
+        now, _ = sequential_read(fs, "/cold", now=now, app="other")
+    plans = picker.analyze(monitor.records)
+    assert {p.path for p in plans} == {"/hot"}
+
+
+def test_determinism_end_to_end():
+    """Same seed, same code path: identical virtual-time results."""
+    def run_once():
+        fs = make_filesystem("ext4", make_device("flash", capacity=1 * GIB))
+        now = make_paper_synthetic_file(fs, "/data", 1 * MIB)
+        report = FragPicker(fs).defragment_bypass(["/data"], now=now)
+        now, mbps = sequential_read(fs, "/data", now=report.finished_at)
+        return report.write_bytes, report.elapsed, mbps
+
+    assert run_once() == run_once()
+
+
+def test_free_space_conserved_through_defrag(any_fs):
+    fs = any_fs
+    now = make_paper_synthetic_file(fs, "/data", 1 * MIB)
+    used_before = fs.free_space.free_bytes
+    report = FragPicker(fs).defragment_bypass(["/data"], now=now)
+    # defragmentation relocates, it does not consume space — modulo the
+    # active log segment F2FS keeps carved out (bounded by one segment)
+    slack = 2 * MIB if fs.fs_type == "f2fs" else 0
+    assert abs(fs.free_space.free_bytes - used_before) <= slack
+    fs.free_space.check_invariants()
+    fs.inode_of("/data").extent_map.check_invariants()
+
+
+def test_monitoring_then_defrag_full_pipeline(any_fs):
+    fs = any_fs
+    now = make_paper_synthetic_file(fs, "/data", 1 * MIB)
+    monitor = SyscallMonitor(fs, apps={"bench"})
+    with monitor:
+        now, _ = sequential_read(fs, "/data", now=now)
+    picker = FragPicker(fs, FragPickerConfig(hotness_criterion=0.5))
+    report = picker.defragment(monitor.records, paths=["/data"], now=now)
+    assert report.ranges_examined > 0
+    assert report.elapsed > 0

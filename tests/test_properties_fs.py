@@ -1,0 +1,113 @@
+"""Model-based property tests of the filesystem syscall layer.
+
+A random sequence of syscalls is applied both to the simulated filesystem
+and to a trivial in-memory reference model; afterwards the data contents,
+sizes, and accounting invariants must agree.  This is the strongest
+correctness check in the suite: it exercises extent maps, allocators, the
+page cache, writeback, fallocate, truncate, and unlink together.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.constants import BLOCK_SIZE, GIB
+from repro.device import make_device
+from repro.errors import NoSpaceError
+from repro.fs import make_filesystem
+from repro.fs.base import FallocMode
+
+PAGES = 64  # model file span, in blocks
+FILES = ["/a", "/b", "/c"]
+
+syscall = st.one_of(
+    st.tuples(st.just("write"), st.sampled_from(FILES), st.integers(0, PAGES - 1),
+              st.integers(1, 8), st.booleans(), st.integers(0, 255)),
+    st.tuples(st.just("punch"), st.sampled_from(FILES), st.integers(0, PAGES - 1),
+              st.integers(1, 8)),
+    st.tuples(st.just("falloc"), st.sampled_from(FILES), st.integers(0, PAGES - 1),
+              st.integers(1, 8)),
+    st.tuples(st.just("fsync"), st.sampled_from(FILES)),
+    st.tuples(st.just("truncate"), st.sampled_from(FILES), st.integers(0, PAGES)),
+    st.tuples(st.just("unlink"), st.sampled_from(FILES)),
+    st.tuples(st.just("drop_caches"),),
+)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.sampled_from(["ext4", "f2fs", "btrfs"]), st.lists(syscall, max_size=40))
+def test_fs_agrees_with_reference_model(fs_type, calls):
+    fs = make_filesystem(fs_type, make_device("optane", capacity=1 * GIB))
+    model = {}  # path -> {"size": int, "data": bytearray}
+    handles = {}
+    now = 0.0
+
+    def ensure(path):
+        if path not in model:
+            fs.create(path)
+            model[path] = {"size": 0, "data": bytearray((PAGES + 8) * BLOCK_SIZE)}
+        if path not in handles:
+            handles[path] = fs.open(path, o_direct=False, app="t")
+        return handles[path]
+
+    for call in calls:
+        op = call[0]
+        if op == "write":
+            _, path, page, count, o_direct, fill = call
+            handle = ensure(path)
+            offset, length = page * BLOCK_SIZE, count * BLOCK_SIZE
+            data = bytes([fill]) * length
+            direct_handle = fs.open(path, o_direct=o_direct, app="t")
+            now = fs.write(direct_handle, offset, data=data, now=now).finish_time
+            entry = model[path]
+            entry["data"][offset : offset + length] = data
+            entry["size"] = max(entry["size"], offset + length)
+        elif op == "punch":
+            _, path, page, count = call
+            handle = ensure(path)
+            offset, length = page * BLOCK_SIZE, count * BLOCK_SIZE
+            now = fs.fallocate(handle, FallocMode.PUNCH_HOLE, offset, length, now=now).finish_time
+            model[path]["data"][offset : offset + length] = b"\x00" * length
+        elif op == "falloc":
+            _, path, page, count = call
+            handle = ensure(path)
+            offset, length = page * BLOCK_SIZE, count * BLOCK_SIZE
+            now = fs.fallocate(handle, FallocMode.ALLOCATE, offset, length, now=now).finish_time
+            model[path]["size"] = max(model[path]["size"], offset + length)
+        elif op == "fsync":
+            _, path = call
+            now = fs.fsync(ensure(path), now=now).finish_time
+        elif op == "truncate":
+            _, path, pages = call
+            handle = ensure(path)
+            size = pages * BLOCK_SIZE
+            old = model[path]["size"]
+            now = fs.truncate(handle, size, now=now).finish_time
+            if size < old:
+                model[path]["data"][size:old] = b"\x00" * (old - size)
+            model[path]["size"] = size
+        elif op == "unlink":
+            _, path = call
+            if path in model:
+                now = fs.unlink(path, now=now).finish_time
+                del model[path]
+                handles.pop(path, None)
+        elif op == "drop_caches":
+            fs.sync(now=now)
+            fs.drop_caches()
+
+    # final agreement
+    for path, entry in model.items():
+        inode = fs.inode_of(path)
+        assert inode.size == entry["size"], path
+        if entry["size"]:
+            got = fs.read(handles[path], 0, entry["size"], now=now, want_data=True).data
+            assert got == bytes(entry["data"][: entry["size"]]), path
+        inode.extent_map.check_invariants()
+    fs.free_space.check_invariants()
+    # space accounting: free + mapped(+ f2fs's carved log slack) = total
+    mapped = sum(inode.extent_map.mapped_bytes for inode in fs.inodes.values())
+    total = fs.free_space.region_end - fs.free_space.region_start
+    slack = total - fs.free_space.free_bytes - mapped
+    assert 0 <= slack <= 2 * 1024 * 1024  # at most one active log segment

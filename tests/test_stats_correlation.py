@@ -1,0 +1,76 @@
+"""Equations (1) and (2): CC and NLRS."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidArgument
+from repro.stats import correlation_coefficient, nlrs, normalize_to_min
+
+
+def test_perfect_positive_correlation():
+    xs = [1, 2, 3, 4]
+    ys = [2, 4, 6, 8]
+    assert correlation_coefficient(xs, ys) == pytest.approx(1.0)
+
+
+def test_perfect_negative_correlation():
+    assert correlation_coefficient([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+
+def test_zero_correlation_constant_y():
+    assert correlation_coefficient([1, 2, 3], [5, 5, 5]) == 0.0
+
+
+def test_nlrs_is_regression_slope():
+    xs = [0, 1, 2, 3]
+    ys = [1, 3, 5, 7]  # slope 2
+    assert nlrs(xs, ys) == pytest.approx(2.0)
+
+
+def test_nlrs_constant_x_is_zero():
+    assert nlrs([2, 2, 2], [1, 5, 9]) == 0.0
+
+
+def test_normalize_to_min():
+    assert normalize_to_min([2.0, 4.0, 8.0]) == [1.0, 2.0, 4.0]
+
+
+def test_normalize_rejects_nonpositive():
+    with pytest.raises(InvalidArgument):
+        normalize_to_min([0.0, 1.0])
+    with pytest.raises(InvalidArgument):
+        normalize_to_min([])
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(InvalidArgument):
+        correlation_coefficient([1, 2], [1, 2, 3])
+    with pytest.raises(InvalidArgument):
+        nlrs([1], [1])
+
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+# well-separated sample points (avoid catastrophic cancellation noise)
+grid = st.integers(-10**6, 10**6).map(float)
+
+
+@given(st.lists(st.tuples(finite, finite), min_size=2, max_size=50))
+def test_cc_bounded(pairs):
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    assert -1.0 - 1e-9 <= correlation_coefficient(xs, ys) <= 1.0 + 1e-9
+
+
+@given(st.lists(grid, min_size=2, max_size=50, unique=True))
+def test_cc_self_is_one(xs):
+    assert correlation_coefficient(xs, xs) == pytest.approx(1.0)
+
+
+@given(
+    st.lists(grid, min_size=2, max_size=30, unique=True),
+    st.floats(min_value=0.1, max_value=10),
+    st.floats(min_value=-100, max_value=100),
+)
+def test_nlrs_recovers_linear_slope(xs, slope, intercept):
+    ys = [slope * x + intercept for x in xs]
+    assert nlrs(xs, ys) == pytest.approx(slope, rel=1e-4, abs=1e-6)

@@ -1,0 +1,23 @@
+"""Table formatting."""
+
+from repro.stats import format_table
+
+
+def test_basic_table():
+    out = format_table(["a", "bb"], [[1, 2.5], ["x", 0.000123]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_alignment():
+    out = format_table(["col"], [["longvalue"], ["s"]])
+    lines = out.splitlines()
+    assert len(lines[2]) >= len("longvalue")
+
+
+def test_number_formats():
+    out = format_table(["n"], [[1234567.0], [0.5], [0.0000001], [0]])
+    assert "1,234,567" in out
+    assert "0.50" in out

@@ -1,0 +1,56 @@
+"""Timeline and windowed throughput."""
+
+from repro.stats import Timeline, windowed_throughput
+from repro.stats.timeline import mean_rate
+
+
+def test_empty_timeline():
+    t = Timeline()
+    assert t.duration == 0.0
+    assert t.rate() == 0.0
+    assert windowed_throughput(t, 1.0) == []
+
+
+def test_rate():
+    t = Timeline()
+    for i in range(11):
+        t.record(i * 0.1)
+    assert t.duration == 1.0
+    assert abs(t.rate() - 11.0) < 1e-9
+
+
+def test_record_amount():
+    t = Timeline()
+    t.record(0.0, 5.0)
+    t.record(1.0, 5.0)
+    assert t.total() == 10.0
+
+
+def test_windowed_throughput():
+    t = Timeline()
+    for i in range(10):
+        t.record(i * 0.1 + 0.05)  # 10 events in [0, 1)
+    samples = windowed_throughput(t, window=0.5, start=0.0, end=1.0)
+    assert len(samples) == 2
+    assert samples[0][1] == 10.0  # 5 events / 0.5s
+    assert samples[1][1] == 10.0
+
+
+def test_windowed_throughput_gap():
+    t = Timeline()
+    t.record(0.1)
+    t.record(2.1)
+    samples = windowed_throughput(t, window=1.0, start=0.0, end=3.0)
+    assert samples[1][1] == 0.0  # the quiet middle window
+
+
+def test_between():
+    t = Timeline()
+    for i in range(10):
+        t.record(float(i))
+    assert t.between(2.0, 5.0).total() == 3
+
+
+def test_mean_rate():
+    assert mean_rate([(0, 2.0), (1, 4.0)]) == 3.0
+    assert mean_rate([]) == 0.0

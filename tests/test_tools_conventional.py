@@ -1,0 +1,99 @@
+"""Conventional defragmenters: e4defrag, btrfs.defragment (-t), f2fs mimic."""
+
+import pytest
+
+from repro.constants import GIB, KIB, MIB
+from repro.core import FragPicker
+from repro.device import make_device
+from repro.fs import make_filesystem
+from repro.tools import btrfs_defragment, e4defrag, f2fs_defrag, make_conventional
+from repro.workloads.synthetic import make_paper_synthetic_file
+
+
+def build(fs_type="ext4", device="optane"):
+    fs = make_filesystem(fs_type, make_device(device, capacity=1 * GIB))
+    now = make_paper_synthetic_file(fs, "/data", 1 * MIB)
+    return fs, now
+
+
+def test_e4defrag_migrates_whole_file():
+    fs, now = build()
+    report = e4defrag(fs).defragment(["/data"], now=now)
+    assert report.write_bytes >= 1 * MIB  # the whole file, plus journal
+    assert fs.inode_of("/data").fragment_count() == 1
+    assert report.ranges_migrated == 1
+
+
+def test_e4defrag_reads_in_4k():
+    fs, now = build()
+    before = fs.tracer.tag("defrag").snapshot()
+    e4defrag(fs).defragment(["/data"], now=now)
+    delta = fs.tracer.tag("defrag").delta(before)
+    # 4 KiB syscalls: at least one read command per 4 KiB of data
+    assert delta.read_commands >= (1 * MIB) // (4 * KIB)
+
+
+def test_contiguous_file_skipped():
+    fs = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    handle = fs.open("/clean", o_direct=True, create=True)
+    now = fs.write(handle, 0, 1 * MIB).finish_time
+    report = e4defrag(fs).defragment(["/clean"], now=now)
+    assert report.ranges_migrated == 0
+    assert report.write_bytes == 0
+
+
+def test_missing_file_ignored():
+    fs, now = build()
+    report = e4defrag(fs).defragment(["/nope", "/data"], now=now)
+    assert report.files_examined == 1
+
+
+def test_btrfs_threshold_skips_big_extents():
+    fs = make_filesystem("btrfs", make_device("optane", capacity=1 * GIB))
+    now = make_paper_synthetic_file(fs, "/data", 1 * MIB)
+    tool = btrfs_defragment(fs, extent_threshold=128 * KIB)
+    report = tool.defragment(["/data"], now=now)
+    full = btrfs_defragment(fs)
+    # only the 4 KiB runs were rewritten: half the bytes
+    assert report.write_bytes < 0.7 * (1 * MIB)
+    # the 128 KiB extents survive in place
+    big = [e for e in fs.inode_of("/data").extent_map if e.length >= 128 * KIB]
+    assert big
+
+
+def test_f2fs_mimic_rewrites():
+    fs = make_filesystem("f2fs", make_device("flash", capacity=1 * GIB))
+    now = make_paper_synthetic_file(fs, "/data", 1 * MIB)
+    frags_before = fs.inode_of("/data").fragment_count()
+    report = f2fs_defrag(fs).defragment(["/data"], now=now)
+    assert fs.inode_of("/data").fragment_count() < frags_before / 10
+    assert fs.ipu_enabled  # restored
+
+
+def test_make_conventional_picks_by_fs_type():
+    for fs_type, expected in (("ext4", "e4defrag"), ("btrfs", "btrfs.defragment"), ("f2fs", "f2fs-defrag")):
+        fs = make_filesystem(fs_type, make_device("optane", capacity=1 * GIB))
+        assert make_conventional(fs).tool_name == expected
+
+
+def test_conventional_writes_more_than_fragpicker():
+    fs, now = build()
+    conv_report = e4defrag(fs).defragment(["/data"], now=now)
+    fs2, now2 = build()
+    fp_report = FragPicker(fs2).defragment_bypass(["/data"], now=now2)
+    assert fp_report.write_bytes < conv_report.write_bytes
+
+
+def test_actor_form_equivalent():
+    from repro.core.report import DefragReport
+    from repro.sim import run_concurrently
+
+    fs, now = build()
+    sync_report = e4defrag(fs).defragment(["/data"], now=now)
+    fs2, now2 = build()
+    actor_report = DefragReport(tool="e4defrag")
+    run_concurrently(
+        {"bg": e4defrag(fs2).actor(["/data"], report_out=actor_report)}, start=now2
+    )
+    assert actor_report.write_bytes == sync_report.write_bytes
+    assert actor_report.ranges_migrated == sync_report.ranges_migrated

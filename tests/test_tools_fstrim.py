@@ -1,0 +1,51 @@
+"""fstrim over (fragmented) free space."""
+
+from repro.constants import GIB, KIB, MIB
+from repro.device import make_device
+from repro.fs import make_filesystem
+from repro.tools import Fstrim
+
+
+def test_trim_counts_free_runs():
+    fs = make_filesystem("ext4", make_device("flash", capacity=1 * GIB))
+    result = Fstrim(fs).run()
+    assert result.commands == 1  # one giant free run on a fresh fs
+    assert result.discarded_bytes == fs.free_space.free_bytes
+
+
+def test_fragmented_free_space_costs_commands():
+    fs = make_filesystem("ext4", make_device("flash", capacity=1 * GIB))
+    target = fs.open("/f", o_direct=True, create=True)
+    dummy = fs.open("/d", o_direct=True, create=True)
+    now = 0.0
+    for i in range(16):
+        now = fs.write(target, i * 4 * KIB, 4 * KIB, now=now).finish_time
+        now = fs.write(dummy, i * 4 * KIB, 4 * KIB, now=now).finish_time
+    now = fs.unlink("/f", now=now).finish_time  # frees 16 scattered blocks
+    result = Fstrim(fs).run(now)
+    assert result.commands >= 17
+
+
+def test_min_run_filter():
+    fs = make_filesystem("ext4", make_device("flash", capacity=1 * GIB))
+    target = fs.open("/f", o_direct=True, create=True)
+    dummy = fs.open("/d", o_direct=True, create=True)
+    now = 0.0
+    for i in range(8):
+        now = fs.write(target, i * 4 * KIB, 4 * KIB, now=now).finish_time
+        now = fs.write(dummy, i * 4 * KIB, 4 * KIB, now=now).finish_time
+    now = fs.unlink("/f", now=now).finish_time
+    result = Fstrim(fs).run(now, min_run=1 * MIB)
+    assert result.commands == 1  # only the big tail run
+
+
+def test_max_discard_split():
+    fs = make_filesystem("ext4", make_device("flash", capacity=1 * GIB))
+    result = Fstrim(fs, max_discard_size=64 * MIB).run()
+    assert result.commands >= fs.free_space.free_bytes // (64 * MIB)
+
+
+def test_cost_per_gb():
+    fs = make_filesystem("ext4", make_device("flash", capacity=1 * GIB))
+    result = Fstrim(fs).run()
+    assert result.cost_per_gb() > 0

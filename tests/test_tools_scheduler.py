@@ -1,0 +1,53 @@
+"""Scheduled defragmentation."""
+
+import pytest
+
+from repro.constants import GIB, KIB, MIB
+from repro.core import FragPicker
+from repro.core.report import DefragReport
+from repro.device import make_device
+from repro.errors import InvalidArgument
+from repro.fs import make_filesystem
+from repro.sim import run_concurrently
+from repro.tools.scheduler import ScheduledDefrag
+from repro.workloads.synthetic import make_paper_synthetic_file
+
+
+def test_validation():
+    with pytest.raises(InvalidArgument):
+        ScheduledDefrag(lambda r: None, period=0, cycles=1)
+    with pytest.raises(InvalidArgument):
+        ScheduledDefrag(lambda r: None, period=1, cycles=0)
+
+
+def test_scheduled_cycles_fire_on_period():
+    fs = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    now = make_paper_synthetic_file(fs, "/data", 1 * MIB)
+    picker = FragPicker(fs)
+
+    def make_cycle(report: DefragReport):
+        return picker.actor(picker.bypass_plans(["/data"]), report_out=report)
+
+    scheduled = ScheduledDefrag(make_cycle, period=100.0, cycles=3)
+    contexts = run_concurrently({"defrag": scheduled.actor()}, start=now)
+    assert len(scheduled.outcome.cycles) == 3
+    # first cycle does the work; later ones find nothing fragmented
+    assert scheduled.outcome.cycles[0].write_bytes > 0
+    assert scheduled.outcome.cycles[2].write_bytes == 0
+    # each cycle starts at (roughly) its scheduled time
+    assert scheduled.outcome.cycles[1].started_at >= now + 200.0
+
+
+def test_outcome_totals():
+    fs = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    now = make_paper_synthetic_file(fs, "/data", 1 * MIB)
+    picker = FragPicker(fs)
+
+    def make_cycle(report: DefragReport):
+        return picker.actor(picker.bypass_plans(["/data"]), report_out=report)
+
+    scheduled = ScheduledDefrag(make_cycle, period=10.0, cycles=2)
+    scheduled.run_synchronously(fs, now=now)
+    outcome = scheduled.outcome
+    assert outcome.total_write_bytes == sum(c.write_bytes for c in outcome.cycles)
+    assert outcome.total_elapsed >= 0

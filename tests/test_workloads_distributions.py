@@ -1,0 +1,61 @@
+"""Key distributions."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.workloads import UniformKeys, ZipfianKeys
+
+
+def test_uniform_bounds_and_coverage():
+    gen = UniformKeys(100, seed=1)
+    samples = [gen.next() for _ in range(5000)]
+    assert all(0 <= s < 100 for s in samples)
+    assert len(set(samples)) > 90
+
+
+def test_zipfian_bounds():
+    gen = ZipfianKeys(1000, seed=2)
+    samples = [gen.next() for _ in range(5000)]
+    assert all(0 <= s < 1000 for s in samples)
+
+
+def test_zipfian_is_skewed():
+    zipf = ZipfianKeys(1000, seed=3)
+    uniform = UniformKeys(1000, seed=3)
+    z_counts = Counter(zipf.next() for _ in range(10000))
+    u_counts = Counter(uniform.next() for _ in range(10000))
+    z_top = sum(c for _, c in z_counts.most_common(10))
+    u_top = sum(c for _, c in u_counts.most_common(10))
+    assert z_top > 3 * u_top
+
+
+def test_zipfian_deterministic_by_seed():
+    a = ZipfianKeys(100, seed=7)
+    b = ZipfianKeys(100, seed=7)
+    assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+    c = ZipfianKeys(100, seed=8)
+    assert [ZipfianKeys(100, seed=7).next() for _ in range(100)] != [
+        c.next() for _ in range(100)
+    ]
+
+
+def test_scramble_spreads_hot_keys():
+    clustered = ZipfianKeys(1000, seed=5, scramble=False)
+    samples = [clustered.next() for _ in range(2000)]
+    hot = Counter(samples).most_common(1)[0][0]
+    assert hot < 10  # unscrambled: hottest key is a low rank
+    scrambled = ZipfianKeys(1000, seed=5, scramble=True)
+    s_samples = [scrambled.next() for _ in range(2000)]
+    s_hot = Counter(s_samples).most_common(5)
+    assert any(key >= 10 for key, _ in s_hot)
+
+
+def test_validation():
+    with pytest.raises(InvalidArgument):
+        ZipfianKeys(0)
+    with pytest.raises(InvalidArgument):
+        ZipfianKeys(10, theta=1.5)
+    with pytest.raises(InvalidArgument):
+        UniformKeys(0)

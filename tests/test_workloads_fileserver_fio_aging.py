@@ -1,0 +1,89 @@
+"""Fileserver + grep, FIO writer, and aging."""
+
+import pytest
+
+from repro.constants import GIB, KIB, MIB
+from repro.device import make_device
+from repro.errors import InvalidArgument
+from repro.fs import make_filesystem
+from repro.sim import run_concurrently
+from repro.workloads.aging import age_filesystem
+from repro.workloads.fileserver import FileServer, FileServerConfig, grep_directory
+from repro.workloads.fio import fio_sequential_writer
+
+
+def f2fs():
+    return make_filesystem("f2fs", make_device("flash", capacity=1 * GIB))
+
+
+def test_fileserver_populates_and_fragments():
+    fs = f2fs()
+    server = FileServer(fs, FileServerConfig(file_count=10, mean_file_size=256 * KIB, seed=1))
+    server.populate(0.0)
+    assert len(server.paths) == 10
+    assert server.total_bytes() > 0
+    assert server.average_fragments() > 3
+
+
+def test_fileserver_contiguous_base():
+    fs = f2fs()
+    server = FileServer(
+        fs, FileServerConfig(file_count=6, mean_file_size=512 * KIB,
+                             contiguous_fraction=0.5, churn_rounds=0, seed=2)
+    )
+    server.populate(0.0)
+    # each file's first extent is its streaming-written base: big
+    for path in server.paths:
+        first = fs.inode_of(path).extent_map.extents()[0]
+        assert first.length >= 64 * KIB
+
+
+def test_grep_reads_everything():
+    fs = f2fs()
+    server = FileServer(fs, FileServerConfig(file_count=5, mean_file_size=128 * KIB, seed=3))
+    now = server.populate(0.0)
+    fs.drop_caches()
+    now, result = grep_directory(fs, "/fileserver", now)
+    assert result.files == 5
+    assert result.bytes_read == server.total_bytes()
+    assert result.cost_per_gb > 0
+
+
+def test_grep_empty_directory():
+    fs = f2fs()
+    with pytest.raises(InvalidArgument):
+        grep_directory(fs, "/nothing")
+
+
+def test_fio_writer_records_bytes():
+    fs = f2fs()
+    actor = fio_sequential_writer(fs, max_bytes=1 * MIB)
+    contexts = run_concurrently({"fio": actor})
+    assert contexts["fio"].timeline.total() == 1 * MIB
+    assert fs.inode_of("/fio.dat").size == 1 * MIB
+
+
+def test_fio_needs_bound():
+    fs = f2fs()
+    with pytest.raises(ValueError):
+        fio_sequential_writer(fs)
+
+
+def test_aging_fragments_free_space():
+    fs = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    report = age_filesystem(fs, fill_fraction=0.8, delete_fraction=0.5,
+                            min_file=16 * KIB, max_file=64 * KIB, seed=1)
+    assert report.files_created > 100
+    assert report.files_deleted > 50
+    assert report.free_runs > 50
+    stats = fs.free_space.stats()
+    assert stats.run_count == report.free_runs
+
+
+def test_aging_deterministic():
+    fs1 = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    fs2 = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    r1 = age_filesystem(fs1, fill_fraction=0.5, seed=9)
+    r2 = age_filesystem(fs2, fill_fraction=0.5, seed=9)
+    assert r1 == r2
+    assert fs1.free_space.runs() == fs2.free_space.runs()

@@ -1,0 +1,72 @@
+"""SQLite-like paged database."""
+
+import pytest
+
+from repro.constants import GIB, KIB
+from repro.device import make_device
+from repro.errors import InvalidArgument
+from repro.fs import make_filesystem
+from repro.workloads.sqlite_like import SqliteConfig, SqliteLike
+
+
+def make(fs_type="btrfs"):
+    fs = make_filesystem(fs_type, make_device("microsd", capacity=1 * GIB))
+    return fs, SqliteLike(fs)
+
+
+def test_inserts_commit_pages():
+    fs, db = make()
+    now = db.load_sequential(100, 1024, 0.0)
+    assert db.rows == 100
+    assert db.db_size >= 100 * 1024
+    assert fs.exists("/db.sqlite")
+
+
+def test_journal_written_and_reset():
+    fs, db = make()
+    journal_writes_before = fs.tracer.tag("sqlite").write_bytes
+    now = db.load_sequential(50, 1024, 0.0)
+    assert fs.tracer.tag("sqlite").write_bytes > journal_writes_before
+    assert fs.inode_of("/db.sqlite-journal").size == 0  # reset after load
+
+
+def test_overflow_rows_supported():
+    fs, db = make()
+    now = db.load_sequential(10, 4096, 0.0)  # rows bigger than a page
+    assert db.db_size >= 10 * 4096
+
+
+def test_fragments_on_cow_filesystem():
+    fs, db = make("btrfs")
+    db.load_sequential(200, 1024, 0.0)
+    assert fs.inode_of("/db.sqlite").fragment_count() > 10
+
+
+def test_select_scans_fraction():
+    fs, db = make()
+    now = db.load_sequential(200, 1024, 0.0)
+    fs.drop_caches()
+    reads_before = fs.device.stats.read_bytes
+    now, elapsed = db.select_fraction(0.5, now)
+    scanned = fs.device.stats.read_bytes - reads_before
+    assert elapsed > 0
+    assert abs(scanned - db.db_size // 2) <= 128 * KIB
+
+
+def test_select_fraction_validated():
+    fs, db = make()
+    db.load_sequential(10, 100, 0.0)
+    with pytest.raises(InvalidArgument):
+        db.select_fraction(0.0)
+    with pytest.raises(InvalidArgument):
+        db.select_fraction(1.5)
+
+
+def test_async_mode_fewer_syncs():
+    fs = make_filesystem("btrfs", make_device("microsd", capacity=1 * GIB))
+    sync_db = SqliteLike(fs, SqliteConfig(db_path="/sync.db", synchronous=True))
+    t_sync = sync_db.load_sequential(100, 1024, 0.0)
+    fs2 = make_filesystem("btrfs", make_device("microsd", capacity=1 * GIB))
+    async_db = SqliteLike(fs2, SqliteConfig(db_path="/async.db", synchronous=False))
+    t_async = async_db.load_sequential(100, 1024, 0.0)
+    assert t_async < t_sync

@@ -1,0 +1,84 @@
+"""Synthetic fragmented-file factory and access patterns."""
+
+import pytest
+
+from repro.constants import KIB, MIB
+from repro.errors import InvalidArgument
+from repro.workloads.synthetic import (
+    FragmentSpec,
+    make_fragmented_file,
+    make_paper_synthetic_file,
+    sequential_read,
+    sequential_update,
+    stride_read,
+    stride_update,
+)
+
+
+def test_fragment_spec_validation():
+    with pytest.raises(InvalidArgument):
+        FragmentSpec(0, 4 * KIB)
+    with pytest.raises(InvalidArgument):
+        FragmentSpec(4 * KIB, 1000)
+
+
+def test_layout_matches_spec(fs):
+    spec = FragmentSpec(frag_size=8 * KIB, frag_distance=32 * KIB)
+    make_fragmented_file(fs, "/s", 64 * KIB, spec)
+    extents = fs.inode_of("/s").extent_map.extents()
+    assert len(extents) == 8
+    assert all(e.length == 8 * KIB for e in extents)
+    gaps = [b.disk_offset - a.disk_end for a, b in zip(extents, extents[1:])]
+    assert all(g == 32 * KIB for g in gaps)
+
+
+def test_fallocate_dummy_same_layout(fs):
+    spec = FragmentSpec(frag_size=8 * KIB, frag_distance=32 * KIB)
+    make_fragmented_file(fs, "/s", 64 * KIB, spec, fallocate_dummy=True)
+    extents = fs.inode_of("/s").extent_map.extents()
+    gaps = [b.disk_offset - a.disk_end for a, b in zip(extents, extents[1:])]
+    assert all(g == 32 * KIB for g in gaps)
+
+
+def test_zero_distance_contiguous(fs):
+    make_fragmented_file(fs, "/s", 64 * KIB, FragmentSpec(8 * KIB, 0))
+    assert fs.inode_of("/s").fragment_count() == 1
+
+
+def test_paper_file_unit_structure(fs):
+    make_paper_synthetic_file(fs, "/p", 512 * KIB)  # 2 units
+    extents = fs.inode_of("/p").extent_map.extents()
+    sizes = sorted({e.length for e in extents})
+    assert sizes == [4 * KIB, 128 * KIB]
+    assert sum(1 for e in extents if e.length == 128 * KIB) == 2
+    assert sum(1 for e in extents if e.length == 4 * KIB) == 64
+
+
+def test_paper_file_size_validated(fs):
+    with pytest.raises(InvalidArgument):
+        make_paper_synthetic_file(fs, "/p", 300 * KIB)
+
+
+def test_patterns_return_throughput(fs):
+    now = make_paper_synthetic_file(fs, "/p", 512 * KIB)
+    for runner in (sequential_read, stride_read, sequential_update, stride_update):
+        now, mbps = runner(fs, "/p", now=now)
+        assert mbps > 0
+
+
+def test_stride_touches_less_data(fs):
+    now = make_paper_synthetic_file(fs, "/p", 1 * MIB + 512 * KIB + 512 * KIB)
+    before = fs.device.stats.read_bytes
+    now, _ = sequential_read(fs, "/p", now=now)
+    seq_bytes = fs.device.stats.read_bytes - before
+    before = fs.device.stats.read_bytes
+    now, _ = stride_read(fs, "/p", now=now)
+    stride_bytes = fs.device.stats.read_bytes - before
+    assert stride_bytes < seq_bytes
+
+
+def test_pattern_requires_big_enough_file(fs):
+    handle = fs.open("/tiny", o_direct=True, create=True)
+    fs.write(handle, 0, 4 * KIB)
+    with pytest.raises(InvalidArgument):
+        sequential_read(fs, "/tiny")

@@ -1,0 +1,75 @@
+"""YCSB-style workloads."""
+
+import pytest
+
+from repro.constants import GIB, KIB
+from repro.device import make_device
+from repro.errors import InvalidArgument
+from repro.fs import make_filesystem
+from repro.sim import run_concurrently
+from repro.workloads.kvstore import LsmConfig, LsmStore
+from repro.workloads.ycsb import WORKLOAD_A, WORKLOAD_C, YcsbConfig, YcsbWorkload
+
+
+def make(config):
+    fs = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    store = LsmStore(fs, LsmConfig(block_size=32 * KIB, memtable_bytes=256 * KIB))
+    return YcsbWorkload(store, config)
+
+
+def test_proportions_validated():
+    with pytest.raises(InvalidArgument):
+        YcsbConfig(read_proportion=0.5, update_proportion=0.2)
+
+
+def test_unknown_distribution():
+    with pytest.raises(InvalidArgument):
+        make(YcsbConfig(record_count=10, distribution="pareto"))
+
+
+def test_load_inserts_all_records():
+    workload = make(YcsbConfig(record_count=300, value_size=128))
+    now = workload.load(0.0)
+    now, value = workload.store.get(b"user%012d" % 299, now)
+    assert value is not None and len(value) == 128
+
+
+def test_workload_c_is_read_only():
+    workload = make(YcsbConfig(record_count=200, value_size=64,
+                               read_proportion=1.0, update_proportion=0.0))
+    now = workload.load(0.0)
+    puts_before = workload.store.stats.puts
+    now, ops_per_sec = workload.run_ops(100, now)
+    assert workload.store.stats.puts == puts_before
+    assert ops_per_sec > 0
+
+
+def test_workload_a_mixes():
+    workload = make(YcsbConfig(record_count=200, value_size=64,
+                               read_proportion=0.5, update_proportion=0.5))
+    now = workload.load(0.0)
+    puts_before = workload.store.stats.puts
+    gets_before = workload.store.stats.gets
+    now, _ = workload.run_ops(200, now)
+    puts = workload.store.stats.puts - puts_before
+    gets = workload.store.stats.gets - gets_before
+    assert 40 < puts < 160
+    assert puts + gets == 200
+
+
+def test_actor_respects_op_budget():
+    workload = make(YcsbConfig(record_count=100, value_size=64))
+    now = workload.load(0.0)
+    contexts = run_concurrently({"ycsb": workload.actor(max_ops=50)}, start=now)
+    assert len(contexts["ycsb"].timeline.events) == 50
+
+
+def test_actor_requires_bound():
+    workload = make(YcsbConfig(record_count=10, value_size=16))
+    with pytest.raises(InvalidArgument):
+        workload.actor()
+
+
+def test_presets():
+    assert WORKLOAD_A.update_proportion == 0.5
+    assert WORKLOAD_C.read_proportion == 1.0
