@@ -1,0 +1,171 @@
+"""Observability tour: the Fig. 10 protocol, fully instrumented.
+
+Runs a scaled-down version of the Figure 10 experiment (YCSB-C over the
+LSM store on an aged Ext4/Optane) with :mod:`repro.obs` enabled, wrapping
+each protocol phase in a span:
+
+- **before** — workload alone on the fragmented database,
+- **analysis** — FragPicker's syscall monitor attached,
+- **defrag** — FragPicker migrating concurrently with the workload,
+- **after** — workload on the defragmented database.
+
+The point of the exercise is the paper's core mechanism made visible: the
+``block.split_fanout`` histogram (device commands per syscall) is windowed
+around the *before* and *after* phases, and defragmentation shifts it
+toward 1.  The result also carries the complete metrics registry and a
+Chrome ``trace_event`` document with nested FragPicker phase spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...constants import KIB, MIB
+from ...core import FragPicker, FragPickerConfig
+from ...core.report import DefragReport
+from ...device import make_device
+from ...fs import make_filesystem
+from ...obs import hooks as obs_hooks
+from ...obs.export import chrome_trace, histogram_table, metrics_table
+from ...obs.hooks import Instrumentation
+from ...obs.metrics import Histogram
+from ...stats.tables import format_table
+from ...workloads.aging import age_filesystem
+from ...workloads.kvstore import LsmConfig, LsmStore
+from ...workloads.ycsb import YcsbConfig, YcsbWorkload
+from ..harness import corun_until_background_done
+
+
+@dataclass
+class ObsTraceResult:
+    """Everything the observability plane captured for one run."""
+
+    obs: Instrumentation
+    phase_ops: Dict[str, float] = field(default_factory=dict)
+    fanout_before: Optional[Histogram] = None
+    fanout_after: Optional[Histogram] = None
+    defrag: Optional[DefragReport] = None
+
+    def trace(self) -> Dict[str, object]:
+        """Chrome trace_event document (load in chrome://tracing/Perfetto)."""
+        return chrome_trace(self.obs.spans, self.obs.registry)
+
+    def top_latency_histograms(self, count: int = 5) -> List[Histogram]:
+        """Busiest latency histograms (by sample count)."""
+        latency = [
+            hist for hist in self.obs.registry.histograms()
+            if "latency" in hist.name or "actor_step" in hist.name
+        ]
+        latency.sort(key=lambda h: h.count, reverse=True)
+        return latency[:count]
+
+    def report(self) -> str:
+        phase_rows = [[name, ops] for name, ops in self.phase_ops.items()]
+        parts = [format_table(["phase", "ops/s"], phase_rows)]
+        if self.fanout_before is not None and self.fanout_after is not None:
+            parts.append(format_table(
+                ["split fan-out (cmds/syscall)", "mean", "p95", "max"],
+                [
+                    ["before defrag", self.fanout_before.mean,
+                     self.fanout_before.quantile(0.95), self.fanout_before.max_value],
+                    ["after defrag", self.fanout_after.mean,
+                     self.fanout_after.quantile(0.95), self.fanout_after.max_value],
+                ],
+            ))
+        if self.defrag is not None:
+            parts.append(self.defrag.summary())
+        parts.append(metrics_table(self.obs.registry))
+        return "\n\n".join(parts)
+
+    def tour(self, count: int = 5) -> str:
+        """The short version: phases, fan-out shift, top-N histograms."""
+        parts = [self.report().split("\n\n")[0]]
+        if self.fanout_before is not None and self.fanout_after is not None:
+            parts.append(
+                f"split fan-out mean: {self.fanout_before.mean:.2f} before "
+                f"-> {self.fanout_after.mean:.2f} after"
+            )
+        parts.append(histogram_table(self.top_latency_histograms(count)))
+        return "\n\n".join(parts)
+
+
+def _build_state(
+    capacity: int, record_count: int, value_size: int, seed: int
+) -> Tuple:
+    """Fig. 10's aged-filesystem + loaded-database setup, scaled down."""
+    device = make_device("optane", capacity=capacity)
+    fs = make_filesystem("ext4", device, metadata_region=16 * MIB)
+    age_filesystem(fs, fill_fraction=0.997, delete_fraction=0.35,
+                   min_file=8 * KIB, max_file=48 * KIB, seed=seed)
+    store = LsmStore(fs, LsmConfig(block_size=128 * KIB, memtable_bytes=4 * MIB))
+    workload = YcsbWorkload(
+        store,
+        YcsbConfig(record_count=record_count, value_size=value_size,
+                   read_proportion=1.0, update_proportion=0.0, seed=seed),
+    )
+    now = workload.load(0.0)
+    leftovers = sorted(fs.listdir("/aging"))
+    band = leftovers[len(leftovers) // 3 : len(leftovers) // 3 + len(leftovers) // 4]
+    for path in band:
+        now = fs.unlink(path, now=now).finish_time
+    fs.drop_caches()
+    return fs, store, workload, now
+
+
+def run(
+    smoke: bool = False,
+    capacity: int = 384 * MIB,
+    record_count: int = 5_000,
+    value_size: int = 1024,
+    window_ops: int = 1_500,
+    hotness: float = 0.5,
+    seed: int = 42,
+    obs: Optional[Instrumentation] = None,
+) -> ObsTraceResult:
+    """Run the instrumented protocol; returns spans + metrics + fan-out."""
+    if smoke:
+        capacity = 96 * MIB
+        record_count = 1_200
+        window_ops = 400
+    if obs is None:
+        obs = Instrumentation()
+    with obs_hooks.use(obs):
+        fs, store, workload, now = _build_state(
+            capacity, record_count, value_size, seed
+        )
+        result = ObsTraceResult(obs=obs)
+        fanout = obs.registry.histogram("block.split_fanout")
+
+        span = obs.span_start("phase.before", now)
+        mark = fanout.snapshot()
+        now, ops_per_sec = workload.run_ops(window_ops, now)
+        result.fanout_before = fanout.delta(mark)
+        result.phase_ops["before"] = ops_per_sec
+        obs.span_finish(span, now)
+
+        picker = FragPicker(fs, FragPickerConfig(hotness_criterion=hotness))
+        span = obs.span_start("phase.analysis", now)
+        with picker.monitor(apps={"rocksdb"}) as monitor:
+            now, ops_per_sec = workload.run_ops(window_ops, now)
+        result.phase_ops["analysis"] = ops_per_sec
+        obs.span_finish(span, now)
+        plans = picker.analyze(monitor.records, paths=store.files(), now=now)
+
+        report = DefragReport(tool="fragpicker")
+        fg_ctx, bg_ctx = corun_until_background_done(
+            workload.actor(duration=float("inf")),
+            picker.actor(plans, report_out=report),
+            start=now,
+        )
+        result.phase_ops["defrag"] = fg_ctx.timeline.rate()
+        result.defrag = report
+        now = max(fg_ctx.now, bg_ctx.now)
+
+        span = obs.span_start("phase.after", now)
+        mark = fanout.snapshot()
+        now, ops_per_sec = workload.run_ops(window_ops, now)
+        result.fanout_after = fanout.delta(mark)
+        result.phase_ops["after"] = ops_per_sec
+        obs.span_finish(span, now)
+    return result

@@ -9,6 +9,7 @@ from ..device import make_device
 from ..device.base import StorageDevice
 from ..fs import make_filesystem
 from ..fs.base import Filesystem
+from ..obs import hooks as obs_hooks
 
 
 def fresh_fs(fs_type: str, device_kind: str, **fs_kwargs) -> Tuple[Filesystem, StorageDevice]:
@@ -29,6 +30,21 @@ class VariantResult:
     defrag_elapsed: float = 0.0
     fragments_after: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: full ``repro.obs`` registry dump (None unless obs was enabled)
+    metrics: Optional[Dict[str, Dict[str, object]]] = None
+
+    def attach_metrics(self) -> "VariantResult":
+        """Snapshot the current instrumentation's registry, if enabled."""
+        self.metrics = metrics_snapshot()
+        return self
+
+
+def metrics_snapshot() -> Optional[Dict[str, Dict[str, object]]]:
+    """JSON-ready dump of the active obs registry (None when disabled)."""
+    obs = obs_hooks.current()
+    if not obs.enabled:
+        return None
+    return obs.registry.to_dict()
 
 
 @dataclass

@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from .request import IoCommand
 from .tracer import BlockTracer
+from ..obs import hooks as obs_hooks
 
 if TYPE_CHECKING:  # avoid a block <-> device import cycle at runtime
     from ..device.base import StorageDevice
@@ -40,6 +41,7 @@ class BlockScheduler:
         self.device = device
         self.kernel_overhead_per_request = kernel_overhead_per_request
         self.tracer = tracer if tracer is not None else BlockTracer()
+        self.obs = obs_hooks.current()
         self.requests_submitted = 0
         self.kernel_time_total = 0.0
         #: shared kernel-CPU timeline: request construction serializes
@@ -66,6 +68,12 @@ class BlockScheduler:
         self.requests_submitted += len(commands)
         self.kernel_time_total += kernel_time
         self.tracer.observe(commands)
+        if self.obs.enabled:
+            # split fan-out (commands per syscall), kernel CPU, and how far
+            # behind real time the shared kernel-CPU timeline is running
+            self.obs.block_submit(
+                len(commands), kernel_time, max(0.0, self._cpu_free - now)
+            )
         latency = batch.finish_time - now
         return SubmitResult(
             finish_time=batch.finish_time,

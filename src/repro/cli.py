@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig4
     python -m repro run fig8 --fs-type f2fs --device optane
     python -m repro run all
+    python -m repro obs --out trace.json     # instrumented Fig. 10 run
+    python -m repro obs --smoke              # fast CI smoke variant
 """
 
 from __future__ import annotations
@@ -125,6 +127,16 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--fs-type", default=None, choices=["ext4", "f2fs", "btrfs"])
     runner.add_argument("--device", default=None,
                         choices=["hdd", "microsd", "flash", "optane"])
+    observer = sub.add_parser(
+        "obs",
+        help="instrumented Fig. 10 run: Chrome trace + metrics tables",
+    )
+    observer.add_argument("--smoke", action="store_true",
+                          help="small/fast variant (CI smoke test)")
+    observer.add_argument("--out", default="trace.json",
+                          help="Chrome trace_event output path ('' to skip)")
+    observer.add_argument("--metrics-json", default=None,
+                          help="also dump the metrics registry as JSON here")
     return parser
 
 
@@ -138,8 +150,30 @@ def _invoke(name: str, args) -> str:
     return spec["fn"](**kwargs)
 
 
+def _run_obs(args) -> int:
+    import json
+
+    from .bench.experiments import obs_trace
+    from .obs.export import metrics_json
+
+    result = obs_trace.run(smoke=args.smoke)
+    print(result.report())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.trace(), fh)
+        print(f"\nwrote Chrome trace to {args.out} "
+              "(load it at chrome://tracing or ui.perfetto.dev)")
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            fh.write(metrics_json(result.obs.registry))
+        print(f"wrote metrics JSON to {args.metrics_json}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):

@@ -61,9 +61,9 @@ class FragPickerConfig:
 class FragPicker:
     """The defragmentation tool of the paper."""
 
-    def __init__(self, fs: Filesystem, config: FragPickerConfig = FragPickerConfig()) -> None:
+    def __init__(self, fs: Filesystem, config: Optional[FragPickerConfig] = None) -> None:
         self.fs = fs
-        self.config = config
+        self.config = config = config if config is not None else FragPickerConfig()
         #: crash-safety journal for in-place migrations (Section 4.2.2);
         #: after an interrupted run, ``journal.recover(fs)`` replays any
         #: punched-but-not-rewritten chunks
@@ -84,8 +84,15 @@ class FragPicker:
         self,
         records: Iterable[IORecord],
         paths: Optional[Iterable[str]] = None,
+        now: float = 0.0,
     ) -> List[FileRangeList]:
-        """Analysis phase: trace -> per-file hot range lists."""
+        """Analysis phase: trace -> per-file hot range lists.
+
+        ``now`` only timestamps the observability span — analysis is
+        host-side work that consumes no virtual time.
+        """
+        obs = self.fs.obs
+        span = obs.span_start("fragpicker.analyze", now) if obs.enabled else None
         inodes = None
         if paths is not None:
             inodes = [self.fs.inode_of(p).ino for p in paths]
@@ -95,10 +102,16 @@ class FragPicker:
             merge=self.config.merge_overlaps,
         )
         analysed = phase.run(self.fs, records, inodes=inodes)
-        return [
+        plans = [
             hotness_filter(range_list, self.config.hotness_criterion)
             for range_list in analysed.values()
         ]
+        if span is not None:
+            span.attrs.update(
+                files=len(plans), ranges=sum(len(p.ranges) for p in plans)
+            )
+            obs.span_finish(span, now)
+        return plans
 
     def bypass_plans(self, paths: Iterable[str]) -> List[FileRangeList]:
         """Bypass option: sequential-read plans without any tracing."""
@@ -122,14 +135,31 @@ class FragPicker:
         if plans is None:
             if records is None:
                 raise DefragError("defragment needs records or plans")
-            plans = self.analyze(records, paths=paths)
+            plans = self.analyze(records, paths=paths, now=now)
         self._warn_if_seek_device()
+        obs = self.fs.obs
+        outer = (
+            obs.span_start("fragpicker.defragment", now, files=len(plans))
+            if obs.enabled else None
+        )
         report = self._new_report(plans, now)
         for plan, file_range in self._work_items(plans):
             report.ranges_examined += 1
+            inner = (
+                obs.span_start(
+                    "fragpicker.migrate", now,
+                    file=plan.path, offset=file_range.start, length=file_range.length,
+                )
+                if obs.enabled else None
+            )
             for now in self._migrate_one(plan, file_range, report, now):
                 pass
-        return self._finish_report(report, plans, now)
+            if inner is not None:
+                obs.span_finish(inner, now)
+        result = self._finish_report(report, plans, now)
+        if outer is not None:
+            obs.span_finish(outer, now)
+        return result
 
     def defragment_bypass(self, paths: Iterable[str], now: float = 0.0) -> DefragReport:
         """The bypass option end-to-end (FragPicker-B in the figures)."""
@@ -142,19 +172,38 @@ class FragPicker:
         report retrievable from ``gen_report`` attribute) as it goes.
         """
         def _run(ctx):
+            obs = self.fs.obs
             report = report_out if report_out is not None else DefragReport(tool="fragpicker")
             started = False
+            outer = None
             for plan, file_range in self._work_items(plans):
                 if not started:
                     self._start_report(report, plans, ctx.now)
                     started = True
+                    if obs.enabled:
+                        outer = obs.span_start(
+                            "fragpicker.defragment", ctx.now,
+                            track=ctx.name, files=len(plans),
+                        )
                 report.ranges_examined += 1
+                inner = (
+                    obs.span_start(
+                        "fragpicker.migrate", ctx.now, track=ctx.name,
+                        file=plan.path, offset=file_range.start,
+                        length=file_range.length,
+                    )
+                    if obs.enabled else None
+                )
                 for t in self._migrate_one(plan, file_range, report, ctx.now):
                     ctx.now = t
                     yield
+                if inner is not None:
+                    obs.span_finish(inner, ctx.now)
             if not started:
                 self._start_report(report, plans, ctx.now)
             self._finish_report(report, plans, ctx.now)
+            if outer is not None:
+                obs.span_finish(outer, ctx.now)
         return _run
 
     # ------------------------------------------------------------------
@@ -174,6 +223,10 @@ class FragPicker:
             self.fs, plan.path, file_range
         ):
             report.ranges_skipped_contiguous += 1
+            if self.fs.obs.enabled:
+                self.fs.obs.event(
+                    "fragpicker.skip_contiguous", now, file=plan.path
+                )
             yield now
             return
         before = self.fs.tracer.tag(self.config.app).snapshot()

@@ -30,6 +30,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..block.request import IoCommand, IoOp
 from ..errors import DeviceError
+from ..obs import hooks as obs_hooks
 
 
 @dataclass
@@ -128,6 +129,7 @@ class StorageDevice(abc.ABC):
         self.name = name
         self.capacity = capacity
         self.stats = DeviceStats()
+        self.obs = obs_hooks.current()
         self._controller_free = 0.0
         self._link_free = 0.0
         self._unit_free: Dict[int, float] = {}
@@ -161,8 +163,10 @@ class StorageDevice(abc.ABC):
             controller = max(start_time, self._controller_free)
         batch_finish = start_time
         batch_work = 0.0
+        observing = self.obs.enabled
         for command in commands:
             plan = self._plan_command(command)
+            command_begin = controller
             dispatched = controller + plan.controller_time
             controller = dispatched
             command_finish = dispatched
@@ -181,11 +185,18 @@ class StorageDevice(abc.ABC):
             batch_finish = max(batch_finish, command_finish)
             self.stats.account(command)
             batch_work += plan.controller_time
+            if observing:
+                # service time: controller pickup to media/link completion
+                self.obs.device_command(
+                    self.name, command.op.value, command_finish - command_begin
+                )
         self._controller_free = controller
         if not self.supports_queuing:
             # hold every resource until the batch drains
             self._controller_free = batch_finish
         self.stats.busy_time += batch_work
+        if observing:
+            self.obs.device_batch(self.name, len(commands), self.busy_until)
         for listener in self._listeners:
             listener(commands, start_time, batch_finish)
         return BatchResult(start_time, batch_finish, batch_work, len(commands))

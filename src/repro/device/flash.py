@@ -16,7 +16,7 @@ reads on flash (Section 3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..block.request import IoCommand, IoOp
 from ..constants import BLOCK_SIZE, GIB
@@ -43,9 +43,9 @@ class FlashSsd(StorageDevice):
 
     supports_queuing = True
 
-    def __init__(self, capacity: int = 32 * GIB, params: FlashParams = FlashParams(), name: str = "flash") -> None:
+    def __init__(self, capacity: int = 32 * GIB, params: Optional[FlashParams] = None, name: str = "flash") -> None:
         super().__init__(name, capacity)
-        self.params = params
+        self.params = params = params if params is not None else FlashParams()
         self.link_rate = params.interface_rate
         self.ftl = PageMappingFtl(
             logical_pages=capacity // BLOCK_SIZE,

@@ -13,6 +13,7 @@ serializes on one timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 from ..block.request import IoCommand, IoOp
 from ..constants import GIB
 from .base import CommandPlan, StorageDevice
@@ -43,9 +44,9 @@ class HddDevice(StorageDevice):
 
     supports_queuing = False
 
-    def __init__(self, capacity: int = 64 * GIB, params: HddParams = HddParams(), name: str = "hdd") -> None:
+    def __init__(self, capacity: int = 64 * GIB, params: Optional[HddParams] = None, name: str = "hdd") -> None:
         super().__init__(name, capacity)
-        self.params = params
+        self.params = params = params if params is not None else HddParams()
         self.head_position = 0
 
     def seek_time(self, distance: int) -> float:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Optional
 
 from ..block.request import IoCommand, IoOp
 from ..constants import GIB, MIB
@@ -39,9 +40,9 @@ class MicroSdDevice(StorageDevice):
 
     supports_queuing = False
 
-    def __init__(self, capacity: int = 32 * GIB, params: MicroSdParams = MicroSdParams(), name: str = "microsd") -> None:
+    def __init__(self, capacity: int = 32 * GIB, params: Optional[MicroSdParams] = None, name: str = "microsd") -> None:
         super().__init__(name, capacity)
-        self.params = params
+        self.params = params = params if params is not None else MicroSdParams()
         self._mapping_cache: "OrderedDict[int, None]" = OrderedDict()
         self.mapping_hits = 0
         self.mapping_misses = 0

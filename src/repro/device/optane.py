@@ -18,7 +18,7 @@ Endurance is tracked as total bytes written against a DWPD budget
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..block.request import IoCommand, IoOp
 from ..constants import BLOCK_SIZE, GIB
@@ -42,9 +42,9 @@ class OptaneSsd(StorageDevice):
 
     supports_queuing = True
 
-    def __init__(self, capacity: int = 64 * GIB, params: OptaneParams = OptaneParams(), name: str = "optane") -> None:
+    def __init__(self, capacity: int = 64 * GIB, params: Optional[OptaneParams] = None, name: str = "optane") -> None:
         super().__init__(name, capacity)
-        self.params = params
+        self.params = params = params if params is not None else OptaneParams()
         self.link_rate = params.interface_rate
 
     def bank_of(self, lpn: int) -> int:

@@ -33,6 +33,7 @@ from ..constants import (
     block_align_up,
 )
 from ..device.base import StorageDevice
+from ..obs import hooks as obs_hooks
 from ..errors import (
     FileExists,
     FileLocked,
@@ -121,10 +122,13 @@ class Filesystem(abc.ABC):
         page_cache_pages: int = 1 << 20,
         journaling: bool = True,
         metadata_region: int = 64 * MIB,
-        costs: FsCosts = FsCosts(),
+        costs: Optional[FsCosts] = None,
         tracer: Optional[BlockTracer] = None,
     ) -> None:
         self.device = device
+        #: observability facade (captured at mount time; a null object —
+        #: one attribute lookup per syscall — unless obs is enabled)
+        self.obs = obs_hooks.current()
         self.scheduler = BlockScheduler(
             device, kernel_overhead_per_request, tracer=tracer
         )
@@ -136,7 +140,7 @@ class Filesystem(abc.ABC):
         self.page_store = PageStore()
         self.page_cache = PageCache(page_cache_pages)
         self.journaling = journaling
-        self.costs = costs
+        self.costs = costs if costs is not None else FsCosts()
         self.inodes: Dict[int, Inode] = {}
         self.paths: Dict[str, int] = {}
         self._next_ino = 1
@@ -200,6 +204,8 @@ class Filesystem(abc.ABC):
         del self.inodes[inode.ino]
         self._meta_dirty = True
         finish = now + self.costs.syscall_overhead
+        if self.obs.enabled:
+            self.obs.syscall("unlink", finish - now)
         return SyscallResult(finish, finish - now, 0, 0)
 
     # ------------------------------------------------------------------
@@ -249,6 +255,8 @@ class Filesystem(abc.ABC):
         else:
             result = self._read_buffered(handle, inode, offset, length, now)
         data = self.page_store.read(inode.ino, offset, length) if want_data else None
+        if self.obs.enabled:
+            self.obs.syscall("read", result.finish_time - entry_time)
         return SyscallResult(
             result.finish_time,
             result.finish_time - entry_time,
@@ -326,6 +334,8 @@ class Filesystem(abc.ABC):
             result = self._write_direct(handle, inode, offset, length, now)
         else:
             result = self._write_buffered(handle, inode, offset, length, now)
+        if self.obs.enabled:
+            self.obs.syscall("write", result.finish_time - entry_time)
         return SyscallResult(
             result.finish_time,
             result.finish_time - entry_time,
@@ -366,6 +376,8 @@ class Filesystem(abc.ABC):
         meta = self._commit_metadata(finish, tag="meta")
         requests += meta.commands
         finish = max(finish, meta.finish_time) + self.costs.syscall_overhead
+        if self.obs.enabled:
+            self.obs.syscall("fsync", finish - now)
         return SyscallResult(finish, finish - now, requests, len(dirty) * BLOCK_SIZE)
 
     def sync(self, now: float = 0.0) -> SyscallResult:
@@ -429,6 +441,8 @@ class Filesystem(abc.ABC):
             self._allocate_range(inode, offset, length)
         self._meta_dirty = True
         finish = now + self.costs.syscall_overhead
+        if self.obs.enabled:
+            self.obs.syscall("fallocate", finish - now)
         return SyscallResult(finish, finish - now, 0, 0)
 
     def _punch_hole(self, inode: Inode, offset: int, length: int) -> None:

@@ -1,0 +1,33 @@
+"""repro.obs — the cross-layer observability plane.
+
+One subsystem replaces the ad-hoc per-layer counters with a shared
+measurement substrate:
+
+- :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
+  (p50/p95/p99) in a process-wide :class:`MetricsRegistry`;
+- :mod:`repro.obs.spans` — hierarchical spans over virtual time plus a
+  bounded event ring buffer;
+- :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto
+  loadable), metrics JSON, and plain-text tables;
+- :mod:`repro.obs.hooks` — the :class:`Instrumentation` facade every
+  layer calls, with a null implementation that keeps the hot path at one
+  attribute lookup when observability is off (the default).
+"""
+
+from .hooks import (  # noqa: F401
+    Instrumentation,
+    NullInstrumentation,
+    current,
+    disable,
+    enable,
+    install,
+    use,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry  # noqa: F401
+from .spans import Span, SpanRecorder  # noqa: F401
+from .export import (  # noqa: F401
+    chrome_trace,
+    metrics_json,
+    metrics_table,
+    write_chrome_trace,
+)

@@ -1,0 +1,118 @@
+"""Exporters: Chrome ``trace_event`` JSON, metrics JSON, text tables.
+
+The Chrome trace format (loadable in ``chrome://tracing`` or Perfetto's
+"Open trace file") is the object form::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms", "metrics": {...}}
+
+Spans become complete ("ph": "X") events, ring-buffer events become
+instants ("ph": "i"), and each span track gets a thread-name metadata
+record so actors show up as separate rows.  Virtual seconds map to trace
+microseconds.  The full metrics registry rides along under the
+non-standard top-level ``metrics`` key (Chrome ignores unknown keys).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..stats.tables import format_table
+from .metrics import Histogram, MetricsRegistry
+from .spans import SpanRecorder
+
+#: the single simulated "process" in exported traces
+TRACE_PID = 1
+
+
+def chrome_trace(
+    recorder: SpanRecorder,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, object]:
+    """Build a Chrome trace_event document from recorded spans/events."""
+    events: List[Dict[str, object]] = []
+    tracks = recorder.tracks() or ["main"]
+    tids = {track: tid for tid, track in enumerate(tracks, start=1)}
+    for track, tid in tids.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": tid,
+            "args": {"name": track},
+        })
+    for span in recorder.finished_spans():
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": TRACE_PID,
+            "tid": tids.get(span.track, 0),
+            "args": dict(span.attrs),
+        })
+    for event in recorder.events:
+        events.append({
+            "name": event.name,
+            "cat": event.name.split(".", 1)[0],
+            "ph": "i",
+            "ts": event.time * 1e6,
+            "s": "t",
+            "pid": TRACE_PID,
+            "tid": tids.get(event.track, 0),
+            "args": dict(event.attrs),
+        })
+    document: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if recorder.dropped_spans:
+        document["droppedSpans"] = recorder.dropped_spans
+    if registry is not None:
+        document["metrics"] = registry.to_dict()
+    return document
+
+
+def write_chrome_trace(
+    path: str,
+    recorder: SpanRecorder,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Write the trace document to ``path`` (open it in Perfetto)."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(recorder, registry), fh)
+
+
+def metrics_json(registry: MetricsRegistry) -> str:
+    return json.dumps(registry.to_dict(), indent=2, sort_keys=True)
+
+
+def metrics_table(registry: MetricsRegistry) -> str:
+    """Plain-text dump of every metric, histograms with quantiles."""
+    sections: List[str] = []
+    counters = [m for m in registry.metrics() if m.to_dict()["kind"] == "counter"]
+    gauges = [m for m in registry.metrics() if m.to_dict()["kind"] == "gauge"]
+    histograms = registry.histograms()
+    if counters:
+        rows = [[c.name, c.value] for c in sorted(counters, key=lambda m: m.name)]
+        sections.append(format_table(["counter", "value"], rows))
+    if gauges:
+        rows = [[g.name, g.value, g.peak] for g in sorted(gauges, key=lambda m: m.name)]
+        sections.append(format_table(["gauge", "value", "peak"], rows))
+    if histograms:
+        sections.append(histogram_table(histograms))
+    return "\n\n".join(sections)
+
+
+def histogram_table(histograms: List[Histogram]) -> str:
+    rows = []
+    for hist in sorted(histograms, key=lambda h: h.name):
+        stats = hist.percentiles()
+        rows.append([
+            hist.name, hist.count, stats["p50"], stats["p95"], stats["p99"],
+            stats["mean"], stats["max"],
+        ])
+    return format_table(
+        ["histogram", "count", "p50", "p95", "p99", "mean", "max"], rows
+    )

@@ -1,0 +1,211 @@
+"""The ``Instrumentation`` facade the storage stack calls into.
+
+Every layer keeps one reference (``self.obs``) captured at construction
+time and guards each hook call with ``if self.obs.enabled:`` — so with the
+default :class:`NullInstrumentation` installed, the hot path costs one
+attribute lookup and a falsy branch, nothing more.
+
+Enable it around an experiment::
+
+    from repro.obs import hooks
+    obs = hooks.enable()          # installs a live Instrumentation
+    fs, device = fresh_fs(...)    # layers built now pick it up
+    ...
+    print(export.metrics_table(obs.registry))
+    hooks.disable()
+
+or scoped::
+
+    with hooks.use(hooks.Instrumentation()) as obs:
+        ...
+
+What each layer reports:
+
+========================  =====================================================
+layer                     metrics / spans
+========================  =====================================================
+``fs`` (VFS syscalls)     ``fs.syscall.<op>`` counter,
+                          ``fs.syscall_latency.<op>`` histogram
+``block`` (scheduler)     ``block.split_fanout`` histogram (commands per
+                          syscall — the paper's core mechanism),
+                          ``block.kernel_time_s`` / ``block.requests``
+                          counters, ``block.queue_backlog_s`` gauge
+``device``                ``device.<name>.command_latency.<op>`` histogram,
+                          ``device.<name>.batch_commands`` histogram,
+                          ``device.<name>.busy_until`` gauge
+``core`` (FragPicker)     ``fragpicker.*`` spans (defragment/analyze/migrate)
+                          and frag-check events
+``sim`` (engine)          ``sim.actor_step.<actor>`` histogram plus
+                          ``actor.run`` ring-buffer events
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Optional, Tuple
+
+from .metrics import COUNT_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry
+from .spans import Span, SpanRecorder
+
+
+class Instrumentation:
+    """Live facade: metrics registry + span recorder behind layer hooks."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanRecorder] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanRecorder()
+        # get-or-create caches so hot hooks skip name formatting when possible
+        self._syscall: Dict[str, Tuple[Counter, Histogram]] = {}
+        self._device: Dict[Tuple[str, str], Histogram] = {}
+        self._device_batch: Dict[str, Tuple[Histogram, Gauge]] = {}
+        self._actor: Dict[str, Histogram] = {}
+        reg = self.registry
+        self._fanout = reg.histogram("block.split_fanout", COUNT_BOUNDS)
+        self._kernel_time = reg.counter("block.kernel_time_s")
+        self._requests = reg.counter("block.requests")
+        self._backlog = reg.gauge("block.queue_backlog_s")
+
+    # -- fs / VFS ------------------------------------------------------
+
+    def syscall(self, op: str, latency: float) -> None:
+        pair = self._syscall.get(op)
+        if pair is None:
+            pair = self._syscall[op] = (
+                self.registry.counter(f"fs.syscall.{op}"),
+                self.registry.histogram(f"fs.syscall_latency.{op}"),
+            )
+        pair[0].inc()
+        pair[1].observe(latency)
+
+    # -- block layer ---------------------------------------------------
+
+    def block_submit(self, fanout: int, kernel_time: float, backlog: float) -> None:
+        self._fanout.observe(fanout)
+        self._kernel_time.inc(kernel_time)
+        self._requests.inc(fanout)
+        self._backlog.set(backlog)
+
+    # -- device layer --------------------------------------------------
+
+    def device_command(self, device: str, op: str, service_time: float) -> None:
+        hist = self._device.get((device, op))
+        if hist is None:
+            hist = self._device[(device, op)] = self.registry.histogram(
+                f"device.{device}.command_latency.{op}"
+            )
+        hist.observe(service_time)
+
+    def device_batch(self, device: str, commands: int, busy_until: float) -> None:
+        pair = self._device_batch.get(device)
+        if pair is None:
+            pair = self._device_batch[device] = (
+                self.registry.histogram(f"device.{device}.batch_commands", COUNT_BOUNDS),
+                self.registry.gauge(f"device.{device}.busy_until"),
+            )
+        pair[0].observe(commands)
+        pair[1].set(busy_until)
+
+    # -- spans / events ------------------------------------------------
+
+    def span_start(self, name: str, now: float, track: str = "main", **attrs: object) -> Span:
+        return self.spans.start(name, now, track=track, **attrs)
+
+    def span_finish(self, span: Optional[Span], now: float) -> None:
+        if span is not None:
+            self.spans.finish(span, now)
+
+    def event(self, name: str, now: float, track: str = "main", **attrs: object) -> None:
+        self.spans.event(name, now, track=track, **attrs)
+
+    # -- sim engine ----------------------------------------------------
+
+    def actor_step(self, actor: str, start: float, end: float) -> None:
+        hist = self._actor.get(actor)
+        if hist is None:
+            hist = self._actor[actor] = self.registry.histogram(
+                f"sim.actor_step.{actor}"
+            )
+        hist.observe(max(0.0, end - start))
+        self.spans.event("actor.run", start, track=actor, until=end)
+
+
+class NullInstrumentation:
+    """Disabled facade: every hook is a no-op, ``enabled`` is falsy.
+
+    Layers guard with ``if self.obs.enabled:``, so none of these methods
+    run on the hot path; they exist so unguarded call sites stay safe.
+    """
+
+    enabled = False
+    registry = None
+    spans = None
+
+    def syscall(self, op: str, latency: float) -> None:
+        pass
+
+    def block_submit(self, fanout: int, kernel_time: float, backlog: float) -> None:
+        pass
+
+    def device_command(self, device: str, op: str, service_time: float) -> None:
+        pass
+
+    def device_batch(self, device: str, commands: int, busy_until: float) -> None:
+        pass
+
+    def span_start(self, name: str, now: float, track: str = "main", **attrs: object) -> None:
+        return None
+
+    def span_finish(self, span: Optional[Span], now: float) -> None:
+        pass
+
+    def event(self, name: str, now: float, track: str = "main", **attrs: object) -> None:
+        pass
+
+    def actor_step(self, actor: str, start: float, end: float) -> None:
+        pass
+
+
+NULL = NullInstrumentation()
+_current = NULL
+
+
+def current():
+    """The process-wide instrumentation (null unless enabled)."""
+    return _current
+
+
+def install(instrumentation) -> None:
+    global _current
+    _current = instrumentation
+
+
+def enable(
+    registry: Optional[MetricsRegistry] = None,
+    spans: Optional[SpanRecorder] = None,
+) -> Instrumentation:
+    """Install (and return) a live instrumentation."""
+    instrumentation = Instrumentation(registry, spans)
+    install(instrumentation)
+    return instrumentation
+
+
+def disable() -> None:
+    install(NULL)
+
+
+@contextmanager
+def use(instrumentation):
+    """Scoped install; restores the previous instrumentation on exit."""
+    previous = current()
+    install(instrumentation)
+    try:
+        yield instrumentation
+    finally:
+        install(previous)

@@ -1,0 +1,223 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+This is the numeric half of the observability plane (:mod:`repro.obs`).
+Everything here measures *virtual* quantities — latencies in simulated
+seconds, sizes in bytes, fan-outs in commands — and is cheap enough to
+stay on during experiments: observing a value is a ``bisect`` into a
+fixed bucket table plus a few float adds.
+
+All three metric kinds support ``snapshot()``/``delta()`` the same way
+:class:`~repro.block.tracer.TrafficCounter` does, so experiments can
+window a metric around a phase ("split fan-out during the *before*
+window vs the *after* window") without resetting the registry.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def exponential_bounds(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """Geometric bucket upper bounds: ``start * factor**i`` for i < count."""
+    bounds: List[float] = []
+    value = start
+    for _ in range(count):
+        bounds.append(value)
+        value *= factor
+    return tuple(bounds)
+
+
+#: default latency buckets: 100ns .. ~100s, x2 per bucket (31 buckets)
+LATENCY_BOUNDS = exponential_bounds(1e-7, 2.0, 31)
+#: default size/count buckets: 1 .. ~1G, x4 per bucket (16 buckets)
+COUNT_BOUNDS = exponential_bounds(1.0, 4.0, 16)
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> "Counter":
+        return Counter(self.name, self.value)
+
+    def delta(self, earlier: "Counter") -> "Counter":
+        return Counter(self.name, self.value - earlier.value)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value-wins measurement that also remembers its peak."""
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str, value: float = 0.0, peak: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+        self.peak = peak
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def snapshot(self) -> "Gauge":
+        return Gauge(self.name, self.value, self.peak)
+
+    def delta(self, earlier: "Gauge") -> "Gauge":
+        # gauges are not cumulative; a delta keeps the later reading
+        return Gauge(self.name, self.value, self.peak)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": "gauge", "value": self.value, "peak": self.peak}
+
+
+class Histogram:
+    """Fixed-bucket histogram with cheap observe and quantile estimates.
+
+    ``bounds`` are inclusive upper bounds per bucket; one overflow bucket
+    catches everything beyond the last bound.  Quantiles interpolate
+    linearly inside the winning bucket, which is plenty for p50/p95/p99
+    over geometric buckets.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "max_value")
+
+    def __init__(self, name: str, bounds: Sequence[float] = LATENCY_BOUNDS) -> None:
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (q in [0, 1])."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                low = self.bounds[i - 1] if i > 0 else 0.0
+                high = self.bounds[i] if i < len(self.bounds) else self.max_value
+                if high < low:  # overflow bucket when max < last bound
+                    high = low
+                fraction = (rank - seen) / bucket_count
+                return min(low + (high - low) * fraction, self.max_value)
+            seen += bucket_count
+        return self.max_value
+
+    def percentiles(self) -> Dict[str, float]:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "mean": self.mean,
+            "max": self.max_value,
+        }
+
+    def snapshot(self) -> "Histogram":
+        copy = Histogram(self.name, self.bounds)
+        copy.counts = list(self.counts)
+        copy.count = self.count
+        copy.total = self.total
+        copy.max_value = self.max_value
+        return copy
+
+    def delta(self, earlier: "Histogram") -> "Histogram":
+        copy = Histogram(self.name, self.bounds)
+        copy.counts = [a - b for a, b in zip(self.counts, earlier.counts)]
+        copy.count = self.count - earlier.count
+        copy.total = self.total - earlier.total
+        copy.max_value = self.max_value  # peak is not subtractable
+        return copy
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.counts),
+            **self.percentiles(),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create, with whole-registry snapshots."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access (get-or-create) ---------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, bounds: Optional[Sequence[float]] = None) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else LATENCY_BOUNDS
+            )
+        return metric
+
+    # -- views ---------------------------------------------------------
+
+    def metrics(self) -> Iterable[object]:
+        yield from self._counters.values()
+        yield from self._gauges.values()
+        yield from self._histograms.values()
+
+    def histograms(self) -> List[Histogram]:
+        return list(self._histograms.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        """Copy of every metric, keyed by name (delta-able)."""
+        return {metric.name: metric.snapshot() for metric in self.metrics()}
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready view of the whole registry."""
+        return {metric.name: metric.to_dict() for metric in sorted(
+            self.metrics(), key=lambda m: m.name
+        )}
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,159 @@
+"""Hierarchical spans and an event ring buffer over virtual time.
+
+Spans are the structural half of the observability plane: a span covers a
+window of **simulated** time (``sim.clock`` / the ``now`` floats the stack
+threads through every syscall), carries attributes, and nests — a
+``fragpicker.defragment`` span contains one ``fragpicker.migrate`` child
+per range.  Because time is virtual, callers pass it explicitly::
+
+    span = recorder.start("fragpicker.migrate", now, file=path)
+    ...
+    recorder.finish(span, now)
+
+or, with anything exposing ``.now`` (e.g. :class:`repro.sim.clock.Clock`
+or an :class:`~repro.sim.engine.ActorContext`)::
+
+    with recorder.span("phase.analyze", clock):
+        ...
+
+Instant happenings (actor steps, frag-check skips) go into a bounded ring
+buffer via :meth:`SpanRecorder.event` so long experiments cannot grow the
+log without bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, List, Optional, Tuple
+
+
+class Span:
+    """One named window of virtual time, possibly nested."""
+
+    __slots__ = ("name", "start", "end", "attrs", "parent", "track", "depth")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        attrs: Optional[Dict[str, object]] = None,
+        parent: Optional["Span"] = None,
+        track: str = "main",
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs or {}
+        self.parent = parent
+        self.track = track
+        self.depth = 0 if parent is None else parent.depth + 1
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.start}..{self.end}, depth={self.depth})"
+
+
+class SpanEvent:
+    """One instant event in the ring buffer."""
+
+    __slots__ = ("name", "time", "attrs", "track")
+
+    def __init__(self, name: str, time: float, attrs: Dict[str, object], track: str) -> None:
+        self.name = name
+        self.time = time
+        self.attrs = attrs
+        self.track = track
+
+
+class SpanRecorder:
+    """Collects spans (bounded) and events (ring buffer) per track.
+
+    A *track* is one logical timeline — an actor name, usually — so
+    concurrent actors nest independently and export as separate rows in
+    ``chrome://tracing``.
+    """
+
+    def __init__(self, max_spans: int = 100_000, max_events: int = 65_536) -> None:
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.events: Deque[SpanEvent] = deque(maxlen=max_events)
+        self.dropped_spans = 0
+        self._stacks: Dict[str, List[Span]] = {}
+
+    # -- spans ---------------------------------------------------------
+
+    def start(self, name: str, now: float, track: str = "main", **attrs: object) -> Span:
+        stack = self._stacks.setdefault(track, [])
+        parent = stack[-1] if stack else None
+        span = Span(name, now, attrs or None, parent, track)
+        stack.append(span)
+        return span
+
+    def finish(self, span: Span, now: float) -> Span:
+        span.end = max(now, span.start)
+        stack = self._stacks.get(span.track, [])
+        if span in stack:
+            # pop this span and anything left dangling above it
+            while stack:
+                popped = stack.pop()
+                if popped is span:
+                    break
+                if popped.end is None:
+                    popped.end = span.end
+                    self._keep(popped)
+        self._keep(span)
+        return span
+
+    def _keep(self, span: Span) -> None:
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped_spans += 1
+
+    @contextmanager
+    def span(self, name: str, clock, track: str = "main", **attrs: object):
+        """Context manager over anything exposing ``.now``."""
+        entry = self.start(name, clock.now, track=track, **attrs)
+        try:
+            yield entry
+        finally:
+            self.finish(entry, clock.now)
+
+    def active(self, track: str = "main") -> Optional[Span]:
+        stack = self._stacks.get(track)
+        return stack[-1] if stack else None
+
+    # -- events --------------------------------------------------------
+
+    def event(self, name: str, now: float, track: str = "main", **attrs: object) -> None:
+        self.events.append(SpanEvent(name, now, attrs, track))
+
+    # -- views ---------------------------------------------------------
+
+    def finished_spans(self) -> List[Span]:
+        return [span for span in self.spans if span.finished]
+
+    def by_name(self, name: str) -> List[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def tracks(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.track)
+        for event in self.events:
+            seen.setdefault(event.track)
+        return list(seen)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+        self.dropped_spans = 0
+        self._stacks.clear()

@@ -27,6 +27,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, Iterator, Optional
 
+from ..obs import hooks as obs_hooks
 from ..stats.timeline import Timeline
 
 ActorFn = Callable[["ActorContext"], Generator[None, None, None]]
@@ -67,16 +68,22 @@ def run_concurrently(
         contexts[name] = ctx
         generators[name] = fn(ctx)
         heapq.heappush(heap, (ctx.now, next(counter), name))
+    obs = obs_hooks.current()
     while heap:
         _, _, name = heapq.heappop(heap)
         ctx = contexts[name]
         if until is not None and ctx.now >= until:
             ctx.finished_at = ctx.now
             continue
+        step_start = ctx.now
         try:
             next(generators[name])
         except StopIteration:
             ctx.finished_at = ctx.now
+            if obs.enabled:
+                obs.event("actor.finish", ctx.now, track=name)
             continue
+        if obs.enabled:
+            obs.actor_step(name, step_start, ctx.now)
         heapq.heappush(heap, (ctx.now, next(counter), name))
     return contexts

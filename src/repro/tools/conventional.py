@@ -50,9 +50,9 @@ class ConventionalConfig:
 class ConventionalDefragmenter:
     """Full-file migration tool."""
 
-    def __init__(self, fs: Filesystem, config: ConventionalConfig = ConventionalConfig(), tool_name: str = "conventional") -> None:
+    def __init__(self, fs: Filesystem, config: Optional[ConventionalConfig] = None, tool_name: str = "conventional") -> None:
         self.fs = fs
-        self.config = config
+        self.config = config = config if config is not None else ConventionalConfig()
         self.tool_name = tool_name
 
     # ------------------------------------------------------------------

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..constants import BLOCK_SIZE, GIB, KIB, MIB, block_align_up
 from ..errors import InvalidArgument
@@ -54,9 +54,9 @@ class GrepResult:
 class FileServer:
     """Builds and churns the file set."""
 
-    def __init__(self, fs: Filesystem, config: FileServerConfig = FileServerConfig()) -> None:
+    def __init__(self, fs: Filesystem, config: Optional[FileServerConfig] = None) -> None:
         self.fs = fs
-        self.config = config
+        self.config = config = config if config is not None else FileServerConfig()
         self._rng = random.Random(config.seed)
         self.paths: List[str] = []
 

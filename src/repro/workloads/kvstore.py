@@ -80,7 +80,8 @@ class LsmStats:
 class LsmStore:
     """Two-level LSM tree."""
 
-    def __init__(self, fs: Filesystem, config: LsmConfig = LsmConfig()) -> None:
+    def __init__(self, fs: Filesystem, config: Optional[LsmConfig] = None) -> None:
+        config = config if config is not None else LsmConfig()
         if config.block_size % BLOCK_SIZE:
             raise InvalidArgument("LSM block size must be fs-block aligned")
         self.fs = fs

@@ -14,7 +14,7 @@ sequential reads, like the paper's SELECT returning 30% of the data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..constants import BLOCK_SIZE, KIB
 from ..errors import InvalidArgument
@@ -32,7 +32,8 @@ class SqliteConfig:
 class SqliteLike:
     """Append-mostly table in a single paged file."""
 
-    def __init__(self, fs: Filesystem, config: SqliteConfig = SqliteConfig()) -> None:
+    def __init__(self, fs: Filesystem, config: Optional[SqliteConfig] = None) -> None:
+        config = config if config is not None else SqliteConfig()
         if config.page_size % BLOCK_SIZE:
             raise InvalidArgument("page size must be block aligned")
         self.fs = fs

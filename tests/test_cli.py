@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -26,6 +28,29 @@ def test_run_with_options(capsys):
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "nope"])
+
+
+def test_obs_smoke_writes_valid_trace(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["obs", "--smoke", "--out", str(trace_path),
+                 "--metrics-json", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "split fan-out" in out
+    assert "fragpicker" in out
+    doc = json.loads(trace_path.read_text())
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "fragpicker.defragment" in names and "fragpicker.migrate" in names
+    metrics = json.loads(metrics_path.read_text())
+    assert any(name.startswith("device.optane.command_latency") for name in metrics)
+
+
+def test_obs_smoke_fanout_shifts_toward_one():
+    from repro.bench.experiments import obs_trace
+    result = obs_trace.run(smoke=True)
+    assert result.fanout_before.count and result.fanout_after.count
+    assert result.fanout_after.mean < result.fanout_before.mean
+    assert result.defrag.ranges_migrated > 0
 
 
 def test_every_experiment_registered():

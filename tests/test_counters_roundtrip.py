@@ -1,0 +1,91 @@
+"""snapshot()/delta() round-trips for the legacy per-layer counters.
+
+TrafficCounter (block tracer) and DeviceStats (device) predate repro.obs;
+experiments still window them around phases, so their copy semantics must
+hold: snapshots are independent copies, and delta(snapshot) isolates
+exactly the traffic in between.
+"""
+
+from repro.block.request import IoCommand, IoOp
+from repro.block.tracer import BlockTracer, TrafficCounter
+from repro.device.base import DeviceStats
+
+
+def _cmd(op, length, tag="t"):
+    return IoCommand(op, 0, length, tag)
+
+
+class TestTrafficCounter:
+    def test_snapshot_is_independent_copy(self):
+        counter = TrafficCounter()
+        counter.account(_cmd(IoOp.READ, 4096))
+        snap = counter.snapshot()
+        counter.account(_cmd(IoOp.WRITE, 8192))
+        assert snap.read_bytes == 4096
+        assert snap.write_bytes == 0
+        assert counter.write_bytes == 8192
+
+    def test_delta_isolates_window(self):
+        counter = TrafficCounter()
+        counter.account(_cmd(IoOp.READ, 4096))
+        counter.account(_cmd(IoOp.DISCARD, 1024))
+        snap = counter.snapshot()
+        counter.account(_cmd(IoOp.READ, 4096))
+        counter.account(_cmd(IoOp.WRITE, 512))
+        counter.account(_cmd(IoOp.DISCARD, 2048))
+        delta = counter.delta(snap)
+        assert delta.read_bytes == 4096 and delta.read_commands == 1
+        assert delta.write_bytes == 512 and delta.write_commands == 1
+        assert delta.discard_bytes == 2048 and delta.discard_commands == 1
+        # snapshot + delta reconstructs the current totals
+        assert snap.read_bytes + delta.read_bytes == counter.read_bytes
+        assert snap.discard_commands + delta.discard_commands == counter.discard_commands
+
+    def test_delta_of_snapshot_with_itself_is_zero(self):
+        counter = TrafficCounter()
+        counter.account(_cmd(IoOp.WRITE, 4096))
+        snap = counter.snapshot()
+        zero = snap.delta(snap)
+        assert zero.total_bytes == 0
+        assert zero.read_commands == zero.write_commands == zero.discard_commands == 0
+
+    def test_tracer_tag_counters_roundtrip(self):
+        tracer = BlockTracer()
+        tracer.observe([_cmd(IoOp.READ, 4096, tag="defrag")])
+        before = tracer.tag("defrag").snapshot()
+        tracer.observe([_cmd(IoOp.WRITE, 8192, tag="defrag"),
+                        _cmd(IoOp.WRITE, 100, tag="other")])
+        delta = tracer.tag("defrag").delta(before)
+        assert delta.read_bytes == 0
+        assert delta.write_bytes == 8192
+        assert tracer.total.write_bytes == 8292
+
+
+class TestDeviceStats:
+    def test_snapshot_is_independent_copy(self):
+        stats = DeviceStats()
+        stats.account(_cmd(IoOp.READ, 4096))
+        stats.busy_time += 0.5
+        snap = stats.snapshot()
+        stats.account(_cmd(IoOp.WRITE, 8192))
+        stats.busy_time += 0.25
+        assert snap.read_bytes == 4096 and snap.write_bytes == 0
+        assert snap.busy_time == 0.5
+        assert stats.busy_time == 0.75
+
+    def test_delta_isolates_window(self):
+        stats = DeviceStats()
+        for _ in range(3):
+            stats.account(_cmd(IoOp.READ, 4096))
+        stats.busy_time = 1.0
+        snap = stats.snapshot()
+        stats.account(_cmd(IoOp.WRITE, 8192))
+        stats.account(_cmd(IoOp.DISCARD, 512))
+        stats.busy_time = 1.75
+        delta = stats.delta(snap)
+        assert delta.read_bytes == 0 and delta.read_commands == 0
+        assert delta.write_bytes == 8192 and delta.write_commands == 1
+        assert delta.discard_bytes == 512 and delta.discard_commands == 1
+        assert delta.busy_time == 0.75
+        assert delta.total_commands == 2
+        assert snap.total_commands + delta.total_commands == stats.total_commands

@@ -1,0 +1,78 @@
+"""Chrome-trace and table exporter tests."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_json,
+    metrics_table,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+
+def _sample_recorder():
+    rec = SpanRecorder()
+    outer = rec.start("fragpicker.defragment", 0.0, track="bg", files=2)
+    inner = rec.start("fragpicker.migrate", 0.5, track="bg", file="/a")
+    rec.finish(inner, 1.0)
+    rec.finish(outer, 2.0)
+    rec.event("fragpicker.skip_contiguous", 1.5, track="bg", file="/b")
+    return rec
+
+
+def test_chrome_trace_schema():
+    rec = _sample_recorder()
+    reg = MetricsRegistry()
+    reg.histogram("device.d.command_latency.read").observe(1e-5)
+    doc = chrome_trace(rec, reg)
+    assert isinstance(doc["traceEvents"], list)
+    assert doc["displayTimeUnit"] == "ms"
+    phases = {event["ph"] for event in doc["traceEvents"]}
+    assert {"M", "X", "i"} <= phases
+    for event in doc["traceEvents"]:
+        assert {"name", "ph", "pid", "tid"} <= set(event)
+        if event["ph"] == "X":
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        if event["ph"] == "i":
+            assert event["s"] == "t"
+    # metrics ride along under the extra top-level key
+    assert doc["metrics"]["device.d.command_latency.read"]["count"] == 1
+    json.dumps(doc)  # must be JSON-serializable
+
+
+def test_chrome_trace_microsecond_conversion_and_args():
+    doc = chrome_trace(_sample_recorder())
+    migrate = next(e for e in doc["traceEvents"] if e["name"] == "fragpicker.migrate")
+    assert migrate["ts"] == 0.5e6
+    assert migrate["dur"] == 0.5e6
+    assert migrate["args"] == {"file": "/a"}
+
+
+def test_chrome_trace_tracks_get_thread_names():
+    doc = chrome_trace(_sample_recorder())
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert {"bg"} == {e["args"]["name"] for e in meta}
+    bg_tid = meta[0]["tid"]
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert all(e["tid"] == bg_tid for e in spans)
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(str(path), _sample_recorder(), MetricsRegistry())
+    doc = json.loads(path.read_text())
+    assert any(e["name"] == "fragpicker.defragment" for e in doc["traceEvents"])
+
+
+def test_metrics_json_and_table():
+    reg = MetricsRegistry()
+    reg.counter("fs.syscall.read").inc(3)
+    reg.gauge("block.queue_backlog_s").set(0.5)
+    reg.histogram("fs.syscall_latency.read").observe(1e-4)
+    parsed = json.loads(metrics_json(reg))
+    assert parsed["fs.syscall.read"]["value"] == 3
+    table = metrics_table(reg)
+    assert "fs.syscall.read" in table
+    assert "p99" in table and "block.queue_backlog_s" in table

@@ -1,0 +1,117 @@
+"""Instrumentation facade + cross-layer wiring tests."""
+
+import pytest
+
+from repro.constants import GIB, KIB, MIB
+from repro.core import FragPicker, FragPickerConfig
+from repro.device import make_device
+from repro.fs import make_filesystem
+from repro.obs import hooks
+from repro.obs.hooks import Instrumentation, NullInstrumentation
+from repro.sim.engine import run_concurrently
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_instrumentation():
+    yield
+    hooks.disable()
+
+
+def _small_fs():
+    device = make_device("optane", capacity=1 * GIB)
+    return make_filesystem("ext4", device), device
+
+
+def test_default_is_null_and_noop():
+    obs = hooks.current()
+    assert isinstance(obs, NullInstrumentation)
+    assert not obs.enabled
+    # every hook is callable and returns nothing
+    obs.syscall("read", 0.1)
+    obs.block_submit(3, 0.01, 0.0)
+    obs.device_command("d", "read", 1e-5)
+    obs.device_batch("d", 3, 1.0)
+    assert obs.span_start("x", 0.0) is None
+    obs.span_finish(None, 1.0)
+    obs.event("x", 0.0)
+    obs.actor_step("a", 0.0, 1.0)
+    assert obs.registry is None and obs.spans is None
+
+
+def test_layers_capture_null_by_default():
+    fs, device = _small_fs()
+    assert not fs.obs.enabled
+    assert not device.obs.enabled
+    assert not fs.scheduler.obs.enabled
+    handle = fs.open("/f", o_direct=True, create=True)
+    fs.write(handle, 0, 64 * KIB)
+    fs.read(handle, 0, 64 * KIB)  # must not record anything anywhere
+
+
+def test_enable_disable_and_use_scoping():
+    live = hooks.enable()
+    assert hooks.current() is live and live.enabled
+    hooks.disable()
+    assert not hooks.current().enabled
+    with hooks.use(Instrumentation()) as scoped:
+        assert hooks.current() is scoped
+    assert not hooks.current().enabled
+
+
+def test_fs_and_block_and_device_wiring():
+    with hooks.use(Instrumentation()) as obs:
+        fs, _ = _small_fs()
+        handle = fs.open("/f", o_direct=True, create=True)
+        fs.write(handle, 0, 256 * KIB)
+        fs.read(handle, 0, 256 * KIB)
+        fs.fsync(handle)
+    reg = obs.registry
+    assert reg.counter("fs.syscall.read").value == 1
+    assert reg.counter("fs.syscall.write").value == 1
+    assert reg.counter("fs.syscall.fsync").value == 1
+    assert reg.histogram("fs.syscall_latency.read").count == 1
+    assert reg.histogram("block.split_fanout").count >= 2
+    assert reg.counter("block.requests").value >= 2
+    read_hist = reg.histogram("device.optane.command_latency.read")
+    assert read_hist.count >= 1 and read_hist.max_value > 0
+    assert reg.gauge("device.optane.busy_until").peak > 0
+
+
+def test_fragpicker_spans_nest():
+    with hooks.use(Instrumentation()) as obs:
+        fs, _ = _small_fs()
+        handle = fs.open("/f", o_direct=True, create=True)
+        fs.write(handle, 0, 4 * MIB)
+        picker = FragPicker(fs, FragPickerConfig(check_fragmentation=False))
+        picker.defragment_bypass(["/f"], now=1.0)
+    spans = obs.spans
+    outer = spans.by_name("fragpicker.defragment")
+    migrates = spans.by_name("fragpicker.migrate")
+    assert len(outer) == 1 and migrates
+    assert all(m.parent is outer[0] for m in migrates)
+    assert outer[0].start == 1.0 and outer[0].end >= max(m.end for m in migrates)
+    assert migrates[0].attrs["file"] == "/f"
+
+
+def test_engine_actor_steps_recorded():
+    with hooks.use(Instrumentation()) as obs:
+        def actor(ctx):
+            for _ in range(3):
+                ctx.now += 1.0
+                yield
+        run_concurrently({"worker": actor})
+    hist = obs.registry.histogram("sim.actor_step.worker")
+    assert hist.count == 3
+    assert hist.mean == pytest.approx(1.0)
+    events = [e for e in obs.spans.events if e.track == "worker"]
+    assert any(e.name == "actor.run" for e in events)
+    assert any(e.name == "actor.finish" for e in events)
+
+
+def test_null_wiring_adds_nothing_when_disabled():
+    fs, _ = _small_fs()  # built while disabled
+    with hooks.use(Instrumentation()) as obs:
+        # obs enabled *after* construction: layers keep their null facade
+        handle = fs.open("/f", o_direct=True, create=True)
+        fs.write(handle, 0, 64 * KIB)
+    assert obs.registry.counter("fs.syscall.write").value == 0

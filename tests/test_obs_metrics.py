@@ -1,0 +1,101 @@
+"""Unit tests for repro.obs.metrics."""
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_bounds,
+)
+
+
+def test_exponential_bounds():
+    assert exponential_bounds(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+
+def test_counter_inc_snapshot_delta():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    snap = counter.snapshot()
+    counter.inc(10)
+    assert counter.value == 15
+    assert snap.value == 5
+    assert counter.delta(snap).value == 10
+
+
+def test_gauge_tracks_peak():
+    gauge = Gauge("g")
+    gauge.set(3.0)
+    gauge.set(1.0)
+    assert gauge.value == 1.0
+    assert gauge.peak == 3.0
+
+
+def test_histogram_basic_stats():
+    hist = Histogram("h", bounds=(1.0, 10.0, 100.0))
+    for value in (0.5, 2.0, 5.0, 50.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.total == pytest.approx(57.5)
+    assert hist.mean == pytest.approx(57.5 / 4)
+    assert hist.max_value == 50.0
+    # one value beyond every bound lands in the overflow bucket
+    hist.observe(1000.0)
+    assert hist.counts[-1] == 1
+    assert hist.max_value == 1000.0
+
+
+def test_histogram_quantiles_monotone_and_bounded():
+    hist = Histogram("h")
+    latencies = [i * 1e-5 for i in range(1, 101)]
+    for value in latencies:
+        hist.observe(value)
+    p50, p95, p99 = hist.quantile(0.5), hist.quantile(0.95), hist.quantile(0.99)
+    assert 0 < p50 <= p95 <= p99 <= hist.max_value
+    # geometric buckets: estimates land within a bucket of the true value
+    assert p50 == pytest.approx(5e-4, rel=1.0)
+    stats = hist.percentiles()
+    assert set(stats) == {"p50", "p95", "p99", "mean", "max"}
+
+
+def test_histogram_empty_quantile_is_zero():
+    assert Histogram("h").quantile(0.99) == 0.0
+    assert Histogram("h").mean == 0.0
+
+
+def test_histogram_snapshot_delta_roundtrip():
+    hist = Histogram("h", COUNT_BOUNDS)
+    for value in (1, 1, 4, 16):
+        hist.observe(value)
+    snap = hist.snapshot()
+    for value in (64, 256):
+        hist.observe(value)
+    delta = hist.delta(snap)
+    assert snap.count == 4
+    assert delta.count == 2
+    assert delta.total == pytest.approx(320)
+    assert sum(delta.counts) == 2
+    # snapshot is independent of later observations
+    assert snap.total == pytest.approx(22)
+
+
+def test_registry_get_or_create_and_snapshot():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("b") is reg.gauge("b")
+    assert reg.histogram("c") is reg.histogram("c")
+    reg.counter("a").inc(2)
+    reg.histogram("c").observe(0.5)
+    snap = reg.snapshot()
+    reg.counter("a").inc(10)
+    assert snap["a"].value == 2
+    dump = reg.to_dict()
+    assert dump["a"]["kind"] == "counter"
+    assert dump["c"]["kind"] == "histogram"
+    assert dump["c"]["count"] == 1
+    reg.reset()
+    assert reg.counter("a").value == 0
