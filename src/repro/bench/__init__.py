@@ -6,6 +6,18 @@ returns a result object with the same rows/series the paper reports; the
 (who wins, by roughly what factor, where the knees fall).
 """
 
-from .harness import Variant, VariantResult, fresh_fs, print_header
+from .harness import (
+    Variant,
+    VariantResult,
+    fresh_fs,
+    measured_variant,
+    print_header,
+)
 
-__all__ = ["Variant", "VariantResult", "fresh_fs", "print_header"]
+__all__ = [
+    "Variant",
+    "VariantResult",
+    "fresh_fs",
+    "measured_variant",
+    "print_header",
+]

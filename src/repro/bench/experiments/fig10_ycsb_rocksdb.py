@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ...constants import GIB, KIB, MIB
 from ...core import FragPicker, FragPickerConfig
@@ -31,7 +31,7 @@ from ...tools import e4defrag
 from ...workloads.aging import age_filesystem
 from ...workloads.kvstore import LsmConfig, LsmStore
 from ...workloads.ycsb import YcsbConfig, YcsbWorkload
-from ..harness import corun_until_background_done
+from ..harness import VariantResult, corun_until_background_done, measured_variant
 
 
 @dataclass
@@ -50,6 +50,8 @@ class VariantRun:
     defrag_write_mb: float = 0.0
     fragments_before: int = 0
     fragments_after: int = 0
+    #: windowed obs capture (metrics + attribution); None when obs is off
+    obs: Optional[VariantResult] = None
 
     @property
     def total_io_mb(self) -> float:
@@ -141,56 +143,73 @@ def run(
     runs: Dict[str, VariantRun] = {}
 
     # ---------------- e4defrag ----------------
-    fs, store, workload, now = _build_state(record_count, value_size, seed)
-    run_e4 = VariantRun(tool="e4defrag")
-    run_e4.fragments_before = _avg_frags(fs, store.files())
-    now, _ = _run_window(workload, warmup_ops, now)
-    now, run_e4.phases["before"] = _run_window(workload, window_ops, now)
-    tool = e4defrag(fs)
-    report = DefragReport(tool="e4defrag")
-    fg_ctx, bg_ctx = corun_until_background_done(
-        workload.actor(duration=float("inf")),
-        tool.actor(store.files(), report_out=report),
-        start=now,
-    )
-    during = fg_ctx.timeline
-    run_e4.phases["defrag"] = PhaseStats(
-        ops_per_sec=during.rate(), ops=len(during.events), duration=during.duration
-    )
-    run_e4.defrag_elapsed = report.elapsed
-    run_e4.defrag_read_mb = report.read_bytes / MIB
-    run_e4.defrag_write_mb = report.write_bytes / MIB
-    now = max(fg_ctx.now, bg_ctx.now)
-    now, run_e4.phases["after"] = _run_window(workload, window_ops, now)
-    run_e4.fragments_after = _avg_frags(fs, store.files())
+    with measured_variant("e4defrag") as window:
+        fs, store, workload, now = _build_state(record_count, value_size, seed)
+        run_e4 = VariantRun(tool="e4defrag")
+        run_e4.fragments_before = _avg_frags(fs, store.files())
+        now, _ = _run_window(workload, warmup_ops, now)
+        now, run_e4.phases["before"] = _run_window(workload, window_ops, now)
+        tool = e4defrag(fs)
+        report = DefragReport(tool="e4defrag")
+        fg_ctx, bg_ctx = corun_until_background_done(
+            workload.actor(duration=float("inf")),
+            tool.actor(store.files(), report_out=report),
+            start=now,
+        )
+        during = fg_ctx.timeline
+        run_e4.phases["defrag"] = PhaseStats(
+            ops_per_sec=during.rate(), ops=len(during.events), duration=during.duration
+        )
+        run_e4.defrag_elapsed = report.elapsed
+        run_e4.defrag_read_mb = report.read_bytes / MIB
+        run_e4.defrag_write_mb = report.write_bytes / MIB
+        now = max(fg_ctx.now, bg_ctx.now)
+        now, run_e4.phases["after"] = _run_window(workload, window_ops, now)
+        run_e4.fragments_after = _avg_frags(fs, store.files())
+        _fill_window(window, run_e4)
+    run_e4.obs = window if window.metrics is not None else None
     runs["e4defrag"] = run_e4
 
     # ---------------- FragPicker ----------------
-    fs, store, workload, now = _build_state(record_count, value_size, seed)
-    run_fp = VariantRun(tool="fragpicker")
-    run_fp.fragments_before = _avg_frags(fs, store.files())
-    now, _ = _run_window(workload, warmup_ops, now)
-    now, run_fp.phases["before"] = _run_window(workload, window_ops, now)
-    picker = FragPicker(fs, FragPickerConfig(hotness_criterion=hotness))
-    with picker.monitor(apps={"rocksdb"}) as monitor:
-        now, run_fp.phases["analysis"] = _run_window(workload, window_ops, now)
-    plans = picker.analyze(monitor.records, paths=store.files())
-    report = DefragReport(tool="fragpicker")
-    fg_ctx, bg_ctx = corun_until_background_done(
-        workload.actor(duration=float("inf")),
-        picker.actor(plans, report_out=report),
-        start=now,
-    )
-    during = fg_ctx.timeline
-    run_fp.phases["defrag"] = PhaseStats(
-        ops_per_sec=during.rate(), ops=len(during.events), duration=during.duration
-    )
-    run_fp.defrag_elapsed = report.elapsed
-    run_fp.defrag_read_mb = report.read_bytes / MIB
-    run_fp.defrag_write_mb = report.write_bytes / MIB
-    now = max(fg_ctx.now, bg_ctx.now)
-    now, run_fp.phases["after"] = _run_window(workload, window_ops, now)
-    run_fp.fragments_after = _avg_frags(fs, store.files())
+    with measured_variant("fragpicker") as window:
+        fs, store, workload, now = _build_state(record_count, value_size, seed)
+        run_fp = VariantRun(tool="fragpicker")
+        run_fp.fragments_before = _avg_frags(fs, store.files())
+        now, _ = _run_window(workload, warmup_ops, now)
+        now, run_fp.phases["before"] = _run_window(workload, window_ops, now)
+        picker = FragPicker(fs, FragPickerConfig(hotness_criterion=hotness))
+        with picker.monitor(apps={"rocksdb"}) as monitor:
+            now, run_fp.phases["analysis"] = _run_window(workload, window_ops, now)
+        plans = picker.analyze(monitor.records, paths=store.files())
+        report = DefragReport(tool="fragpicker")
+        fg_ctx, bg_ctx = corun_until_background_done(
+            workload.actor(duration=float("inf")),
+            picker.actor(plans, report_out=report),
+            start=now,
+        )
+        during = fg_ctx.timeline
+        run_fp.phases["defrag"] = PhaseStats(
+            ops_per_sec=during.rate(), ops=len(during.events), duration=during.duration
+        )
+        run_fp.defrag_elapsed = report.elapsed
+        run_fp.defrag_read_mb = report.read_bytes / MIB
+        run_fp.defrag_write_mb = report.write_bytes / MIB
+        now = max(fg_ctx.now, bg_ctx.now)
+        now, run_fp.phases["after"] = _run_window(workload, window_ops, now)
+        run_fp.fragments_after = _avg_frags(fs, store.files())
+        _fill_window(window, run_fp)
+    run_fp.obs = window if window.metrics is not None else None
     runs["fragpicker"] = run_fp
 
     return Fig10Result(runs=runs)
+
+
+def _fill_window(window: VariantResult, run: VariantRun) -> None:
+    """Mirror a VariantRun's headline numbers into its obs window."""
+    window.throughput_mbps = run.phases["after"].ops_per_sec
+    window.defrag_read_mb = run.defrag_read_mb
+    window.defrag_write_mb = run.defrag_write_mb
+    window.defrag_elapsed = run.defrag_elapsed
+    window.fragments_after = float(run.fragments_after)
+    window.extra["before_ops_per_sec"] = run.phases["before"].ops_per_sec
+    window.extra["defrag_ops_per_sec"] = run.phases["defrag"].ops_per_sec

@@ -16,7 +16,7 @@ flash).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ...constants import GIB, MIB
 from ...core import FragPicker
@@ -24,6 +24,7 @@ from ...device import make_device
 from ...fs import make_filesystem
 from ...tools import f2fs_defrag
 from ...workloads.fileserver import FileServer, FileServerConfig, grep_directory
+from ..harness import VariantResult, measured_variant
 
 
 @dataclass
@@ -31,6 +32,8 @@ class Fig11Cell:
     grep_cost: float            # s/GB
     defrag_write_mb: float
     avg_fragments: float
+    #: windowed obs capture (metrics + attribution); None when obs is off
+    obs: Optional[VariantResult] = None
 
 
 @dataclass
@@ -71,24 +74,29 @@ def run(
     cells: Dict[str, Fig11Cell] = {}
     fragments_before = 0.0
     for variant in ("original", "conv", "fragpicker"):
-        fs, server, now = _setup(device_kind, file_count, mean_size, seed)
-        if not fragments_before:
-            fragments_before = server.average_fragments()
-        write_mb = 0.0
-        if variant == "conv":
-            report = f2fs_defrag(fs).defragment(server.paths, now=now)
-            now = report.finished_at
-            write_mb = report.write_bytes / MIB
-        elif variant == "fragpicker":
-            picker = FragPicker(fs)
-            report = picker.defragment(plans=picker.bypass_plans(server.paths), now=now)
-            now = report.finished_at
-            write_mb = report.write_bytes / MIB
-        fs.drop_caches()
-        now, grep = grep_directory(fs, server.config.directory, now)
+        with measured_variant(variant) as window:
+            fs, server, now = _setup(device_kind, file_count, mean_size, seed)
+            if not fragments_before:
+                fragments_before = server.average_fragments()
+            write_mb = 0.0
+            if variant == "conv":
+                report = f2fs_defrag(fs).defragment(server.paths, now=now)
+                now = report.finished_at
+                write_mb = report.write_bytes / MIB
+            elif variant == "fragpicker":
+                picker = FragPicker(fs)
+                report = picker.defragment(plans=picker.bypass_plans(server.paths), now=now)
+                now = report.finished_at
+                write_mb = report.write_bytes / MIB
+            fs.drop_caches()
+            now, grep = grep_directory(fs, server.config.directory, now)
+            window.defrag_write_mb = write_mb
+            window.fragments_after = server.average_fragments()
+            window.extra["grep_cost_s_per_gb"] = grep.cost_per_gb
         cells[variant] = Fig11Cell(
             grep_cost=grep.cost_per_gb,
             defrag_write_mb=write_mb,
-            avg_fragments=server.average_fragments(),
+            avg_fragments=window.fragments_after,
+            obs=window if window.metrics is not None else None,
         )
     return Fig11Result(device=device_kind, fragments_before=fragments_before, cells=cells)

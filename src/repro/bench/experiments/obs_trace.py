@@ -27,9 +27,11 @@ from ...core.report import DefragReport
 from ...device import make_device
 from ...fs import make_filesystem
 from ...obs import hooks as obs_hooks
+from ...obs.analysis import attribute
 from ...obs.export import chrome_trace, histogram_table, metrics_table
 from ...obs.hooks import Instrumentation
 from ...obs.metrics import Histogram
+from ...obs.sampler import FragmentationSampler
 from ...stats.tables import format_table
 from ...workloads.aging import age_filesystem
 from ...workloads.kvstore import LsmConfig, LsmStore
@@ -46,10 +48,19 @@ class ObsTraceResult:
     fanout_before: Optional[Histogram] = None
     fanout_after: Optional[Histogram] = None
     defrag: Optional[DefragReport] = None
+    sampler: Optional[FragmentationSampler] = None
 
     def trace(self) -> Dict[str, object]:
-        """Chrome trace_event document (load in chrome://tracing/Perfetto)."""
-        return chrome_trace(self.obs.spans, self.obs.registry)
+        """Chrome trace_event document (load in chrome://tracing/Perfetto).
+
+        Includes the fragmentation-timeline counter curves and the raw
+        ``fragTimeline`` samples when a sampler ran.
+        """
+        return chrome_trace(self.obs.spans, self.obs.registry, sampler=self.sampler)
+
+    def attribution(self):
+        """Latency attribution over the whole run (sum-to-total checked)."""
+        return attribute(self.obs.registry)
 
     def top_latency_histograms(self, count: int = 5) -> List[Histogram]:
         """Busiest latency histograms (by sample count)."""
@@ -75,6 +86,13 @@ class ObsTraceResult:
             ))
         if self.defrag is not None:
             parts.append(self.defrag.summary())
+        parts.append(self.attribution().table())
+        if self.sampler is not None and self.sampler.samples_taken:
+            contiguity = self.sampler.series["frag.contiguity"]
+            parts.append(
+                f"frag timeline: {self.sampler.samples_taken} samples, "
+                f"contiguity {contiguity.values[0]:.3f} -> {contiguity.last:.3f}"
+            )
         parts.append(metrics_table(self.obs.registry))
         return "\n\n".join(parts)
 
@@ -136,6 +154,12 @@ def run(
         )
         result = ObsTraceResult(obs=obs)
         fanout = obs.registry.histogram("block.split_fanout")
+        # fragmentation timeline over the database tables; activity-driven,
+        # so it rides the same device batches the phases generate
+        sampler = FragmentationSampler(fs, interval=0.02, paths=store.files())
+        result.sampler = sampler
+        sampler.attach()
+        sampler.sample(now)
 
         span = obs.span_start("phase.before", now)
         mark = fanout.snapshot()
@@ -168,4 +192,6 @@ def run(
         result.fanout_after = fanout.delta(mark)
         result.phase_ops["after"] = ops_per_sec
         obs.span_finish(span, now)
+        sampler.sample(now)
+        sampler.detach()
     return result

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..device import make_device
 from ..device.base import StorageDevice
 from ..fs import make_filesystem
 from ..fs.base import Filesystem
+from ..obs import analysis as obs_analysis
 from ..obs import hooks as obs_hooks
 
 
@@ -30,13 +32,66 @@ class VariantResult:
     defrag_elapsed: float = 0.0
     fragments_after: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
-    #: full ``repro.obs`` registry dump (None unless obs was enabled)
+    #: ``repro.obs`` registry dump for this variant's measurement window
+    #: (None unless obs was enabled)
     metrics: Optional[Dict[str, Dict[str, object]]] = None
+    #: latency-attribution breakdown over the same window
+    #: (``repro.obs.analysis.Attribution.to_dict()``; None when disabled)
+    attribution: Optional[Dict[str, object]] = None
 
-    def attach_metrics(self) -> "VariantResult":
-        """Snapshot the current instrumentation's registry, if enabled."""
-        self.metrics = metrics_snapshot()
+    def attach_metrics(self, since: Optional[Dict[str, object]] = None) -> "VariantResult":
+        """Capture the active registry (windowed against ``since``) plus
+        its latency attribution, if obs is enabled."""
+        obs = obs_hooks.current()
+        if not obs.enabled:
+            return self
+        self.metrics = obs_analysis.delta_metrics(obs.registry, since)
+        self.attribution = obs_analysis.attribute(self.metrics).to_dict()
         return self
+
+    def attribution_table(self) -> str:
+        if self.metrics is None:
+            return "(no metrics attached)"
+        return obs_analysis.attribute(self.metrics).table()
+
+    def fanout_summary(self) -> Dict[str, float]:
+        """{count, mean, p95, max} of this window's split fan-out."""
+        return obs_analysis.histogram_summary(self.metrics or {}, "block.split_fanout")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (what ``BENCH_*.json`` persists per variant)."""
+        doc: Dict[str, object] = {
+            "throughput_mbps": self.throughput_mbps,
+            "defrag_read_mb": self.defrag_read_mb,
+            "defrag_write_mb": self.defrag_write_mb,
+            "defrag_elapsed": self.defrag_elapsed,
+            "fragments_after": self.fragments_after,
+            "extra": dict(self.extra),
+        }
+        if self.metrics is not None:
+            doc["split_fanout"] = self.fanout_summary()
+        if self.attribution is not None:
+            doc["attribution"] = self.attribution
+        return doc
+
+
+@contextmanager
+def measured_variant(name: str) -> Iterator[VariantResult]:
+    """One variant's measurement window, metrics attached centrally.
+
+    Wraps a variant's whole run (setup + defrag + measurement).  On exit
+    the live registry is windowed against the entry snapshot and attached,
+    so no experiment can silently drop telemetry by forgetting
+    ``attach_metrics()``; with obs disabled this costs two attribute
+    lookups.
+    """
+    obs = obs_hooks.current()
+    since = obs.registry.snapshot() if obs.enabled else None
+    result = VariantResult(name=name)
+    try:
+        yield result
+    finally:
+        result.attach_metrics(since=since)
 
 
 def metrics_snapshot() -> Optional[Dict[str, Dict[str, object]]]:

@@ -1,0 +1,148 @@
+"""The ``repro bench`` suite: a scaled, instrumented sweep for regression
+tracking.
+
+Runs a deterministic subset of the paper's figures with the observability
+plane enabled, and condenses each variant into the flat summary shape
+:mod:`repro.bench.regression` compares:
+
+- ``synthetic_<fs>_<device>`` — the Figure 8/9 grid, one cell per
+  (variant, pattern), with per-window latency attribution and split
+  fan-out;
+- ``fileserver_<device>`` — Figure 11's grep cost (stored as GB/s so
+  "higher is better" holds);
+- ``obs_trace`` — the instrumented Fig. 10 protocol: phase throughputs,
+  the before/after fan-out shift, and the whole-run attribution.
+
+``--smoke`` shrinks file sizes, device list, and variant set to keep the
+CI job in seconds; the configuration that produced a document is
+fingerprinted into it, so ``repro bench --compare`` can refuse to read
+apples against oranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..constants import MIB
+from ..obs import hooks as obs_hooks
+from ..obs.analysis import histogram_summary
+from ..obs.hooks import Instrumentation
+from . import regression
+
+
+def suite_config(smoke: bool = False) -> Dict[str, object]:
+    """The full parameterisation of one suite run (fingerprinted)."""
+    if smoke:
+        return {
+            "smoke": True,
+            "synthetic": {
+                "fs_type": "ext4",
+                "devices": ["optane", "hdd"],
+                "file_size_mib": 6,
+                "variants": ["original", "fragpicker_b"],
+                "patterns": ["seq_read", "stride_read"],
+            },
+            "fileserver": {
+                "device": "flash", "file_count": 12, "mean_size_mib": 1, "seed": 5,
+            },
+            "obs_trace": {"smoke": True, "seed": 42},
+        }
+    return {
+        "smoke": False,
+        "synthetic": {
+            "fs_type": "ext4",
+            "devices": ["optane", "flash", "hdd", "microsd"],
+            "file_size_mib": 33,
+            "variants": ["original", "conv", "fragpicker", "fragpicker_b"],
+            "patterns": ["seq_read", "stride_read", "seq_update", "stride_update"],
+        },
+        "fileserver": {
+            "device": "flash", "file_count": 60, "mean_size_mib": 2, "seed": 5,
+        },
+        "obs_trace": {"smoke": False, "seed": 42},
+    }
+
+
+def run_suite(
+    smoke: bool = False,
+    label: str = "local",
+    obs: Optional[Instrumentation] = None,
+) -> Tuple[Dict[str, object], object]:
+    """Run the suite; returns ``(bench_document, obs_trace_result)``.
+
+    The trace result is returned separately so the CLI can also export
+    the Chrome trace (spans + fragmentation timeline) from the same run.
+    """
+    from .experiments import fig11_fileserver, obs_trace, synthetic_defrag
+
+    config = suite_config(smoke)
+    figures: Dict[str, Dict[str, Dict[str, object]]] = {}
+    if obs is None:
+        obs = Instrumentation()
+
+    with obs_hooks.use(obs):
+        syn = config["synthetic"]
+        for device in syn["devices"]:
+            result = synthetic_defrag.run(
+                syn["fs_type"], device,
+                file_size=syn["file_size_mib"] * MIB,
+                variants=tuple(syn["variants"]),
+                patterns=tuple(syn["patterns"]),
+            )
+            figure: Dict[str, Dict[str, object]] = {}
+            for variant, per_pattern in result.cells.items():
+                for pattern, cell in per_pattern.items():
+                    summary: Dict[str, object] = {
+                        "throughput_mbps": cell.throughput_mbps,
+                        "defrag_write_mb": cell.defrag_write_mb,
+                    }
+                    if cell.obs is not None:
+                        summary["split_fanout"] = cell.obs.fanout_summary()
+                        summary["attribution"] = cell.obs.attribution
+                    figure[f"{variant}:{pattern}"] = summary
+            figures[f"synthetic_{syn['fs_type']}_{device}"] = figure
+
+        fsrv = config["fileserver"]
+        result = fig11_fileserver.run(
+            fsrv["device"], file_count=fsrv["file_count"],
+            mean_size=fsrv["mean_size_mib"] * MIB, seed=fsrv["seed"],
+        )
+        figure = {}
+        for variant, cell in result.cells.items():
+            summary = {
+                "grep_gb_per_s": 1.0 / cell.grep_cost if cell.grep_cost else 0.0,
+                "defrag_write_mb": cell.defrag_write_mb,
+            }
+            if cell.obs is not None:
+                summary["split_fanout"] = cell.obs.fanout_summary()
+                summary["attribution"] = cell.obs.attribution
+            figure[variant] = summary
+        figures[f"fileserver_{fsrv['device']}"] = figure
+
+    # obs_trace manages its own instrumentation context (fresh registry),
+    # which keeps its whole-run attribution self-contained
+    trace_result = obs_trace.run(
+        smoke=config["obs_trace"]["smoke"], seed=config["obs_trace"]["seed"]
+    )
+    figure = {}
+    for phase in ("before", "after"):
+        fanout = getattr(trace_result, f"fanout_{phase}")
+        figure[phase] = {
+            "ops_per_sec": trace_result.phase_ops[phase],
+            "split_fanout": {
+                "count": fanout.count,
+                "mean": fanout.mean,
+                "p95": fanout.quantile(0.95),
+                "max": fanout.max_value,
+            },
+        }
+    figure["overall"] = {
+        "attribution": trace_result.attribution().to_dict(),
+        "split_fanout": histogram_summary(
+            trace_result.obs.registry, "block.split_fanout"
+        ),
+    }
+    figures["obs_trace"] = figure
+
+    document = regression.build_document(label, config, figures)
+    return document, trace_result

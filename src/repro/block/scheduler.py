@@ -67,12 +67,16 @@ class BlockScheduler:
         batch = self.device.submit(commands, cpu_done)
         self.requests_submitted += len(commands)
         self.kernel_time_total += kernel_time
-        self.tracer.observe(commands)
+        self.tracer.observe(commands, now)
         if self.obs.enabled:
             # split fan-out (commands per syscall), kernel CPU, and how far
-            # behind real time the shared kernel-CPU timeline is running
+            # behind real time the shared kernel-CPU timeline is running;
+            # queue_wait/base_cpu partition this submit's latency for
+            # attribution (base = what one unsplit request would have cost)
             self.obs.block_submit(
-                len(commands), kernel_time, max(0.0, self._cpu_free - now)
+                len(commands), kernel_time, max(0.0, self._cpu_free - now),
+                queue_wait=cpu_start - now,
+                base_cpu=self.kernel_overhead_per_request,
             )
         latency = batch.finish_time - now
         return SubmitResult(

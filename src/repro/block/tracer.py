@@ -4,6 +4,12 @@ Counts bytes and commands below the filesystem, split by the ``tag`` each
 command carries, so experiments can report e.g. "the defragmenter issued
 163 MB of reads and 137 MB of writes" separately from workload traffic —
 exactly what the paper measures with blktrace/iotop.
+
+When the observability plane is enabled the tracer also emits each
+command into the shared ``repro.obs`` event ring (track ``"block"``), so
+Chrome traces show raw block commands without a second private log; the
+in-memory ``keep_log`` list remains available for callers that need
+random access to the raw commands.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
+from ..obs import hooks as obs_hooks
 from .request import IoCommand, IoOp
 
 
@@ -65,8 +72,10 @@ class BlockTracer:
         self.total = TrafficCounter()
         self.keep_log = keep_log
         self.log: List[IoCommand] = []
+        self.obs = obs_hooks.current()
 
-    def observe(self, commands: Iterable[IoCommand]) -> None:
+    def observe(self, commands: Iterable[IoCommand], now: float = 0.0) -> None:
+        emit = self.obs.enabled
         for command in commands:
             self.total.account(command)
             counter = self.by_tag.get(command.tag)
@@ -75,6 +84,12 @@ class BlockTracer:
             counter.account(command)
             if self.keep_log:
                 self.log.append(command)
+            if emit:
+                self.obs.event(
+                    "block.cmd", now, track="block",
+                    op=command.op.value, offset=command.offset,
+                    length=command.length, tag=command.tag,
+                )
 
     def tag(self, name: str) -> TrafficCounter:
         """Counter for one tag (empty counter if never seen)."""

@@ -8,6 +8,8 @@ Usage::
     python -m repro run all
     python -m repro obs --out trace.json     # instrumented Fig. 10 run
     python -m repro obs --smoke              # fast CI smoke variant
+    python -m repro bench --smoke --json BENCH_ci.json   # persist a suite run
+    python -m repro bench --compare BENCH_base.json BENCH_ci.json
 """
 
 from __future__ import annotations
@@ -137,6 +139,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="Chrome trace_event output path ('' to skip)")
     observer.add_argument("--metrics-json", default=None,
                           help="also dump the metrics registry as JSON here")
+    bench = sub.add_parser(
+        "bench",
+        help="instrumented benchmark suite: persist BENCH_*.json, compare runs",
+    )
+    bench.add_argument("--smoke", action="store_true",
+                       help="small/fast suite variant (CI smoke job)")
+    bench.add_argument("--label", default=None,
+                       help="document label (default: 'smoke' or 'full')")
+    bench.add_argument("--json", default=None, metavar="PATH",
+                       help="write the BENCH document here "
+                            "(default: BENCH_<label>.json)")
+    bench.add_argument("--trace", default=None, metavar="PATH",
+                       help="also write the instrumented run's Chrome trace "
+                            "(spans + fragmentation timeline)")
+    bench.add_argument("--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+                       help="compare two BENCH documents instead of running; "
+                            "exits 1 when a regression exceeds the threshold")
+    bench.add_argument("--threshold", type=float, default=0.10,
+                       help="relative regression threshold (default 0.10)")
+    bench.add_argument("--warn-only", action="store_true",
+                       help="report regressions but always exit 0")
     return parser
 
 
@@ -170,10 +193,44 @@ def _run_obs(args) -> int:
     return 0
 
 
+def _run_bench(args) -> int:
+    from .bench import regression, suite
+    from .obs.export import write_chrome_trace
+
+    if args.compare:
+        baseline = regression.load(args.compare[0])
+        candidate = regression.load(args.compare[1])
+        comparison = regression.compare(baseline, candidate, threshold=args.threshold)
+        print(comparison.report())
+        if comparison.ok or args.warn_only:
+            return 0
+        return 1
+
+    label = args.label or ("smoke" if args.smoke else "full")
+    document, trace_result = suite.run_suite(smoke=args.smoke, label=label)
+    path = args.json or f"BENCH_{label}.json"
+    regression.save(path, document)
+    print(f"wrote bench document to {path} "
+          f"(schema {document['schema']}, fingerprint {document['fingerprint']})")
+    for figure, variants in document["figures"].items():
+        print(f"  {figure}: {len(variants)} variant(s)")
+    if args.trace:
+        write_chrome_trace(
+            args.trace, trace_result.obs.spans, trace_result.obs.registry,
+            sampler=trace_result.sampler,
+        )
+        print(f"wrote Chrome trace to {args.trace}")
+    print()
+    print(trace_result.attribution().table())
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):

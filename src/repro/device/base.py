@@ -92,11 +92,15 @@ class CommandPlan:
         unit_work: (unit id, media time) pairs; units run in parallel
             with each other, serially within themselves.
         link_bytes: bytes crossing the host interface.
+        penalty_time: the slice of the media work charged purely for
+            discontiguity (HDD seek + rotation, MicroSD mapping-cache
+            misses) — reported separately for latency attribution.
     """
 
     controller_time: float
     unit_work: Tuple[Tuple[int, float], ...] = ()
     link_bytes: int = 0
+    penalty_time: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -161,8 +165,10 @@ class StorageDevice(abc.ABC):
             controller = max(start_time, self.busy_until)
         else:
             controller = max(start_time, self._controller_free)
+        pickup = controller
         batch_finish = start_time
         batch_work = 0.0
+        batch_penalty = 0.0
         observing = self.obs.enabled
         for command in commands:
             plan = self._plan_command(command)
@@ -185,6 +191,7 @@ class StorageDevice(abc.ABC):
             batch_finish = max(batch_finish, command_finish)
             self.stats.account(command)
             batch_work += plan.controller_time
+            batch_penalty += plan.penalty_time
             if observing:
                 # service time: controller pickup to media/link completion
                 self.obs.device_command(
@@ -196,7 +203,14 @@ class StorageDevice(abc.ABC):
             self._controller_free = batch_finish
         self.stats.busy_time += batch_work
         if observing:
-            self.obs.device_batch(self.name, len(commands), self.busy_until)
+            # wall-clock partition of this batch's latency for attribution:
+            # wait behind earlier traffic, then service from pickup to drain
+            self.obs.device_batch(
+                self.name, len(commands), self.busy_until,
+                queue_wait=pickup - start_time,
+                service_time=batch_finish - pickup,
+                penalty_time=batch_penalty,
+            )
         for listener in self._listeners:
             listener(commands, start_time, batch_finish)
         return BatchResult(start_time, batch_finish, batch_work, len(commands))
@@ -204,6 +218,10 @@ class StorageDevice(abc.ABC):
     def add_listener(self, listener) -> None:
         """Register ``fn(commands, start, finish)`` (used by tracing)."""
         self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Unregister a listener added with :meth:`add_listener`."""
+        self._listeners.remove(listener)
 
     # -- hooks -----------------------------------------------------------
 

@@ -61,15 +61,16 @@ class HddDevice(StorageDevice):
         if command.op is IoOp.DISCARD:
             # TRIM is a metadata operation; negligible mechanical work.
             return CommandPlan(controller_time=self.params.command_overhead)
-        mechanical = 0.0
+        penalty = 0.0
         distance = abs(command.offset - self.head_position)
         if distance > 0:
-            mechanical += self.seek_time(distance) + self.params.rotational_latency
-        mechanical += command.length / self.params.transfer_rate
+            penalty = self.seek_time(distance) + self.params.rotational_latency
+        mechanical = penalty + command.length / self.params.transfer_rate
         self.head_position = command.end
         return CommandPlan(
             controller_time=self.params.command_overhead,
             unit_work=((0, mechanical),),
+            penalty_time=penalty,
         )
 
     def describe(self):

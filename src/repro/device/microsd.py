@@ -69,12 +69,13 @@ class MicroSdDevice(StorageDevice):
             return CommandPlan(
                 controller_time=self.params.command_overhead + self.params.discard_overhead
             )
-        media = self._mapping_lookup(command)
+        penalty = self._mapping_lookup(command)
         rate = self.params.read_rate if command.op is IoOp.READ else self.params.write_rate
-        media += command.length / rate
+        media = penalty + command.length / rate
         return CommandPlan(
             controller_time=self.params.command_overhead,
             unit_work=((0, media),),
+            penalty_time=penalty,
         )
 
     def describe(self):

@@ -206,6 +206,7 @@ class Filesystem(abc.ABC):
         finish = now + self.costs.syscall_overhead
         if self.obs.enabled:
             self.obs.syscall("unlink", finish - now)
+            self.obs.fs_cpu(finish - now)
         return SyscallResult(finish, finish - now, 0, 0)
 
     # ------------------------------------------------------------------
@@ -257,6 +258,7 @@ class Filesystem(abc.ABC):
         data = self.page_store.read(inode.ino, offset, length) if want_data else None
         if self.obs.enabled:
             self.obs.syscall("read", result.finish_time - entry_time)
+            self.obs.fs_cpu(self._probe_cost)
         return SyscallResult(
             result.finish_time,
             result.finish_time - entry_time,
@@ -273,6 +275,8 @@ class Filesystem(abc.ABC):
         commands = split_ranges(IoOp.READ, ranges, tag=handle.app)
         submit = self.scheduler.submit(commands, now)
         finish = max(submit.finish_time, now) + self.costs.syscall_overhead
+        if self.obs.enabled:
+            self.obs.fs_cpu(self.costs.syscall_overhead)
         return SyscallResult(finish, finish - now, submit.commands, length)
 
     def _read_buffered(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float) -> SyscallResult:
@@ -300,6 +304,8 @@ class Filesystem(abc.ABC):
                 finish = self._writeback_pages(evicted, finish).finish_time
         copy_time = length / self.costs.memcpy_rate
         finish += copy_time + self.costs.syscall_overhead
+        if self.obs.enabled:
+            self.obs.fs_cpu(copy_time + self.costs.syscall_overhead)
         return SyscallResult(finish, finish - now, requests, length)
 
     # ------------------------------------------------------------------
@@ -336,6 +342,7 @@ class Filesystem(abc.ABC):
             result = self._write_buffered(handle, inode, offset, length, now)
         if self.obs.enabled:
             self.obs.syscall("write", result.finish_time - entry_time)
+            self.obs.fs_cpu(self._probe_cost)
         return SyscallResult(
             result.finish_time,
             result.finish_time - entry_time,
@@ -351,6 +358,8 @@ class Filesystem(abc.ABC):
         commands = split_ranges(IoOp.WRITE, ranges, tag=handle.app)
         submit = self.scheduler.submit(commands, now)
         finish = max(submit.finish_time, now) + self.costs.syscall_overhead
+        if self.obs.enabled:
+            self.obs.fs_cpu(self.costs.syscall_overhead)
         return SyscallResult(finish, finish - now, submit.commands, length)
 
     def _write_buffered(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float) -> SyscallResult:
@@ -358,6 +367,8 @@ class Filesystem(abc.ABC):
         last = (offset + length - 1) // BLOCK_SIZE
         evicted = self.page_cache.mark_dirty((inode.ino, page) for page in range(first, last + 1))
         finish = now + length / self.costs.memcpy_rate + self.costs.syscall_overhead
+        if self.obs.enabled:
+            self.obs.fs_cpu(finish - now)
         if evicted:
             finish = self._writeback_pages(evicted, finish).finish_time
         return SyscallResult(finish, finish - now, 0, length)
@@ -378,6 +389,7 @@ class Filesystem(abc.ABC):
         finish = max(finish, meta.finish_time) + self.costs.syscall_overhead
         if self.obs.enabled:
             self.obs.syscall("fsync", finish - now)
+            self.obs.fs_cpu(self.costs.syscall_overhead)
         return SyscallResult(finish, finish - now, requests, len(dirty) * BLOCK_SIZE)
 
     def sync(self, now: float = 0.0) -> SyscallResult:
@@ -393,6 +405,8 @@ class Filesystem(abc.ABC):
             finish = submit.finish_time
         meta = self._commit_metadata(finish, tag="meta")
         finish = max(finish, meta.finish_time)
+        if self.obs.enabled:
+            self.obs.syscall("sync", finish - now)
         return SyscallResult(finish, finish - now, requests + meta.commands, 0)
 
     def _writeback_pages(self, keys: Sequence[Tuple[int, int]], now: float, tag: str = "writeback") -> SubmitResult:
@@ -443,6 +457,7 @@ class Filesystem(abc.ABC):
         finish = now + self.costs.syscall_overhead
         if self.obs.enabled:
             self.obs.syscall("fallocate", finish - now)
+            self.obs.fs_cpu(finish - now)
         return SyscallResult(finish, finish - now, 0, 0)
 
     def _punch_hole(self, inode: Inode, offset: int, length: int) -> None:
@@ -521,6 +536,9 @@ class Filesystem(abc.ABC):
         inode.size = size
         self._meta_dirty = True
         finish = now + self.costs.syscall_overhead
+        if self.obs.enabled:
+            self.obs.syscall("truncate", finish - now)
+            self.obs.fs_cpu(finish - now)
         return SyscallResult(finish, finish - now, 0, 0)
 
     # ------------------------------------------------------------------

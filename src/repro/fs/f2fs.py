@@ -96,6 +96,7 @@ class F2fs(Filesystem):
         ``"gc"``); afterwards each victim window is one whole free
         segment.  Returns ``(finish_time, segments_cleaned)``.
         """
+        start = now
         cleaned = 0
         for _ in range(count):
             window = self._pick_victim_window()
@@ -103,6 +104,10 @@ class F2fs(Filesystem):
                 break
             now = self._compact_window(window, now)
             cleaned += 1
+        if self.obs.enabled and cleaned:
+            # the GC ioctl surface: its elapsed time joins the measured
+            # total so the gc traffic's block/device slices stay balanced
+            self.obs.syscall("gc", now - start)
         return now, cleaned
 
     def _segment_free_bytes(self) -> Dict[int, int]:

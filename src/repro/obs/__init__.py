@@ -11,7 +11,14 @@ measurement substrate:
   loadable), metrics JSON, and plain-text tables;
 - :mod:`repro.obs.hooks` — the :class:`Instrumentation` facade every
   layer calls, with a null implementation that keeps the hot path at one
-  attribute lookup when observability is off (the default).
+  attribute lookup when observability is off (the default);
+- :mod:`repro.obs.analysis` — the explanation layer: latency attribution
+  (wall-clock per-syscall latency partitioned into fs CPU / kernel queue
+  and CPU / split cost / device queue, service, penalty, with a
+  sum-to-total invariant) and span-tree summaries;
+- :mod:`repro.obs.sampler` — fragmentation timelines: extents-per-file,
+  free-space fragmentation, and contiguity sampled over virtual time,
+  exported as counter curves in the Chrome trace.
 """
 
 from .hooks import (  # noqa: F401
@@ -31,3 +38,12 @@ from .export import (  # noqa: F401
     metrics_table,
     write_chrome_trace,
 )
+from .analysis import (  # noqa: F401
+    Attribution,
+    attribute,
+    delta_metrics,
+    histogram_summary,
+    span_summary,
+    span_table,
+)
+from .sampler import FragmentationSampler  # noqa: F401

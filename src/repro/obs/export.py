@@ -25,11 +25,38 @@ from .spans import SpanRecorder
 TRACE_PID = 1
 
 
+def counter_events(series_by_name: Dict[str, object]) -> List[Dict[str, object]]:
+    """Chrome counter ("ph": "C") events from named Series-like curves.
+
+    Each series renders as its own counter row in chrome://tracing /
+    Perfetto, so e.g. defrag progress shows as a falling
+    ``frag.extents_per_file`` curve alongside the span tracks.
+    """
+    events: List[Dict[str, object]] = []
+    for name, series in series_by_name.items():
+        for time, value in zip(series.times, series.values):
+            events.append({
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ph": "C",
+                "ts": time * 1e6,
+                "pid": TRACE_PID,
+                "args": {"value": value},
+            })
+    return events
+
+
 def chrome_trace(
     recorder: SpanRecorder,
     registry: Optional[MetricsRegistry] = None,
+    sampler=None,
 ) -> Dict[str, object]:
-    """Build a Chrome trace_event document from recorded spans/events."""
+    """Build a Chrome trace_event document from recorded spans/events.
+
+    ``sampler`` (anything with ``.series`` and ``.to_dict()``, e.g. a
+    :class:`~repro.obs.sampler.FragmentationSampler`) adds counter curves
+    to the event stream plus a raw ``fragTimeline`` top-level key.
+    """
     events: List[Dict[str, object]] = []
     tracks = recorder.tracks() or ["main"]
     tids = {track: tid for tid, track in enumerate(tracks, start=1)}
@@ -63,6 +90,8 @@ def chrome_trace(
             "tid": tids.get(event.track, 0),
             "args": dict(event.attrs),
         })
+    if sampler is not None:
+        events.extend(counter_events(sampler.series))
     document: Dict[str, object] = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -71,6 +100,8 @@ def chrome_trace(
         document["droppedSpans"] = recorder.dropped_spans
     if registry is not None:
         document["metrics"] = registry.to_dict()
+    if sampler is not None:
+        document["fragTimeline"] = sampler.to_dict()
     return document
 
 
@@ -78,10 +109,11 @@ def write_chrome_trace(
     path: str,
     recorder: SpanRecorder,
     registry: Optional[MetricsRegistry] = None,
+    sampler=None,
 ) -> None:
     """Write the trace document to ``path`` (open it in Perfetto)."""
     with open(path, "w") as fh:
-        json.dump(chrome_trace(recorder, registry), fh)
+        json.dump(chrome_trace(recorder, registry, sampler=sampler), fh)
 
 
 def metrics_json(registry: MetricsRegistry) -> str:

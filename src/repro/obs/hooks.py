@@ -38,6 +38,32 @@ layer                     metrics / spans
 ``sim`` (engine)          ``sim.actor_step.<actor>`` histogram plus
                           ``actor.run`` ring-buffer events
 ========================  =====================================================
+
+Latency attribution
+-------------------
+
+Beyond the per-layer metrics, every layer also feeds a small set of
+``attrib.*_s`` counters that *partition* each syscall's wall-clock latency
+into named components, measured at the layer that owns them:
+
+- ``attrib.fs_cpu_s`` — host CPU above the block layer (syscall overhead,
+  page-cache memcpy, attached-probe cost);
+- ``attrib.kernel_queue_s`` — wait for the shared kernel-CPU timeline;
+- ``attrib.kernel_cpu_base_s`` — baseline request-build CPU (one request
+  per syscall);
+- ``attrib.kernel_cpu_split_s`` — the *extra* kernel CPU caused by request
+  splitting (goes to ~0 once a file is contiguous — the paper's
+  mechanism);
+- ``attrib.device_queue_s`` — device-side wait behind earlier traffic;
+- ``attrib.device_service_s`` — device wall-clock service after pickup,
+  minus penalties;
+- ``attrib.device_penalty_s`` — seek / mapping-miss penalties the device
+  models charge for discontiguity.
+
+Because each component is an exact slice of the same timeline the
+syscall-latency histograms measure, the components sum to the measured
+total; :func:`repro.obs.analysis.attribute` renders the breakdown and
+checks that invariant.
 """
 
 from __future__ import annotations
@@ -71,6 +97,14 @@ class Instrumentation:
         self._kernel_time = reg.counter("block.kernel_time_s")
         self._requests = reg.counter("block.requests")
         self._backlog = reg.gauge("block.queue_backlog_s")
+        # latency-attribution components (see module docstring)
+        self._attr_fs_cpu = reg.counter("attrib.fs_cpu_s")
+        self._attr_kernel_queue = reg.counter("attrib.kernel_queue_s")
+        self._attr_kernel_base = reg.counter("attrib.kernel_cpu_base_s")
+        self._attr_kernel_split = reg.counter("attrib.kernel_cpu_split_s")
+        self._attr_dev_queue = reg.counter("attrib.device_queue_s")
+        self._attr_dev_service = reg.counter("attrib.device_service_s")
+        self._attr_dev_penalty = reg.counter("attrib.device_penalty_s")
 
     # -- fs / VFS ------------------------------------------------------
 
@@ -84,13 +118,28 @@ class Instrumentation:
         pair[0].inc()
         pair[1].observe(latency)
 
+    def fs_cpu(self, seconds: float) -> None:
+        """Host CPU spent above the block layer (one syscall's worth)."""
+        self._attr_fs_cpu.inc(seconds)
+
     # -- block layer ---------------------------------------------------
 
-    def block_submit(self, fanout: int, kernel_time: float, backlog: float) -> None:
+    def block_submit(
+        self,
+        fanout: int,
+        kernel_time: float,
+        backlog: float,
+        queue_wait: float = 0.0,
+        base_cpu: float = 0.0,
+    ) -> None:
         self._fanout.observe(fanout)
         self._kernel_time.inc(kernel_time)
         self._requests.inc(fanout)
         self._backlog.set(backlog)
+        self._attr_kernel_queue.inc(queue_wait)
+        base = min(base_cpu, kernel_time)
+        self._attr_kernel_base.inc(base)
+        self._attr_kernel_split.inc(kernel_time - base)
 
     # -- device layer --------------------------------------------------
 
@@ -102,7 +151,15 @@ class Instrumentation:
             )
         hist.observe(service_time)
 
-    def device_batch(self, device: str, commands: int, busy_until: float) -> None:
+    def device_batch(
+        self,
+        device: str,
+        commands: int,
+        busy_until: float,
+        queue_wait: float = 0.0,
+        service_time: float = 0.0,
+        penalty_time: float = 0.0,
+    ) -> None:
         pair = self._device_batch.get(device)
         if pair is None:
             pair = self._device_batch[device] = (
@@ -111,6 +168,10 @@ class Instrumentation:
             )
         pair[0].observe(commands)
         pair[1].set(busy_until)
+        self._attr_dev_queue.inc(queue_wait)
+        penalty = min(penalty_time, service_time)
+        self._attr_dev_service.inc(service_time - penalty)
+        self._attr_dev_penalty.inc(penalty)
 
     # -- spans / events ------------------------------------------------
 
@@ -150,13 +211,31 @@ class NullInstrumentation:
     def syscall(self, op: str, latency: float) -> None:
         pass
 
-    def block_submit(self, fanout: int, kernel_time: float, backlog: float) -> None:
+    def fs_cpu(self, seconds: float) -> None:
+        pass
+
+    def block_submit(
+        self,
+        fanout: int,
+        kernel_time: float,
+        backlog: float,
+        queue_wait: float = 0.0,
+        base_cpu: float = 0.0,
+    ) -> None:
         pass
 
     def device_command(self, device: str, op: str, service_time: float) -> None:
         pass
 
-    def device_batch(self, device: str, commands: int, busy_until: float) -> None:
+    def device_batch(
+        self,
+        device: str,
+        commands: int,
+        busy_until: float,
+        queue_wait: float = 0.0,
+        service_time: float = 0.0,
+        penalty_time: float = 0.0,
+    ) -> None:
         pass
 
     def span_start(self, name: str, now: float, track: str = "main", **attrs: object) -> None:

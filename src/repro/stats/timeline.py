@@ -41,6 +41,57 @@ class Timeline:
         return Timeline([(t, a) for t, a in self.events if start <= t < end])
 
 
+@dataclass
+class Series:
+    """A named sampled curve: monotone ``(time, value)`` points.
+
+    Timelines hold *completion events* (amounts to be rate-reduced);
+    a Series holds *readings* — fragmentation scores, free-run counts —
+    sampled over virtual time, e.g. by
+    :class:`repro.obs.sampler.FragmentationSampler`.
+    """
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def samples(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+    def decimate(self) -> None:
+        """Drop every other interior sample (keeps first and last)."""
+        if len(self.times) < 4:
+            return
+        keep = [0] + list(range(1, len(self.times) - 1, 2)) + [len(self.times) - 1]
+        self.times = [self.times[i] for i in keep]
+        self.values = [self.values[i] for i in keep]
+
+    def summary(self) -> dict:
+        if not self.values:
+            return {"count": 0, "first": 0.0, "last": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": len(self.values),
+            "first": self.values[0],
+            "last": self.values[-1],
+            "min": min(self.values),
+            "max": max(self.values),
+        }
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "samples": [list(p) for p in self.samples()]}
+
+
 def windowed_throughput(
     timeline: Timeline, window: float, start: float = 0.0, end: float = None
 ) -> List[Tuple[float, float]]:

@@ -5,6 +5,12 @@ cache, so readahead has *not* been applied to what it sees — FragPicker
 compensates for that during per-file analysis) and records
 :class:`~repro.trace.records.IORecord` entries, optionally filtered by
 application tag.
+
+The ``records`` list is FragPicker's *analysis input* and always exists;
+telemetry, however, is not duplicated here: when the observability plane
+is enabled each accepted record is also emitted into the shared
+``repro.obs`` event ring (track ``"syscall"``), so Chrome traces show the
+monitored syscalls without a second bookkeeping path.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set
 
 from ..fs.base import Filesystem, SyscallEvent
+from ..obs import hooks as obs_hooks
 from .records import IORecord
 
 
@@ -35,6 +42,7 @@ class SyscallMonitor:
         self.apps: Optional[Set[str]] = set(apps) if apps is not None else None
         self.io_types = set(io_types)
         self.records: List[IORecord] = []
+        self.obs = obs_hooks.current()
         self._attached = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -76,6 +84,12 @@ class SyscallMonitor:
                 time=event.time,
             )
         )
+        if self.obs.enabled:
+            self.obs.event(
+                f"syscall.{event.op}", event.time, track="syscall",
+                app=event.app, ino=event.ino,
+                offset=event.offset, size=event.size,
+            )
 
     # -- views ----------------------------------------------------------------
 

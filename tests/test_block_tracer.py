@@ -39,3 +39,27 @@ def test_keep_log():
     tracer = BlockTracer(keep_log=True)
     tracer.observe([IoCommand(IoOp.READ, 0, 1)])
     assert len(tracer.log) == 1
+
+
+def test_observe_emits_into_obs_event_ring():
+    """With obs enabled, the tracer mirrors commands into the shared ring."""
+    from repro.obs import hooks
+    from repro.obs.hooks import Instrumentation
+
+    try:
+        with hooks.use(Instrumentation()) as obs:
+            tracer = BlockTracer()
+            tracer.observe([
+                IoCommand(IoOp.READ, 4096, 512, "a"),
+                IoCommand(IoOp.WRITE, 8192, 1024, "b"),
+            ], now=1.5)
+            events = [e for e in obs.spans.events if e.name == "block.cmd"]
+        assert len(events) == 2
+        read, write = events
+        assert read.track == "block" and read.time == 1.5
+        assert read.attrs == {"op": "read", "offset": 4096, "length": 512, "tag": "a"}
+        assert write.attrs["op"] == "write" and write.attrs["tag"] == "b"
+        # the counter side is unaffected by the mirroring
+        assert tracer.tag("a").read_bytes == 512
+    finally:
+        hooks.disable()

@@ -1,0 +1,53 @@
+"""Observability must never perturb the simulation (the Heisenberg guard).
+
+One scaled experiment run twice — obs fully enabled (metrics, spans,
+sampler-bearing paths) vs the null facade — must produce bit-identical
+results: instrumentation reads the timeline, it never advances it.
+"""
+
+import pytest
+
+from repro.bench.experiments import synthetic_defrag
+from repro.constants import MIB
+from repro.obs import hooks
+from repro.obs.hooks import Instrumentation
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_instrumentation():
+    yield
+    hooks.disable()
+
+
+def _run_once(enabled: bool):
+    if enabled:
+        context = hooks.use(Instrumentation())
+    else:
+        context = hooks.use(hooks.NullInstrumentation())
+    with context:
+        return synthetic_defrag.run(
+            "ext4", "flash",
+            file_size=4 * MIB,
+            variants=("original", "fragpicker_b"),
+            patterns=("seq_read", "stride_read"),
+        )
+
+
+def test_enabling_obs_is_bit_identical():
+    with_obs = _run_once(enabled=True)
+    without = _run_once(enabled=False)
+    assert set(with_obs.cells) == set(without.cells)
+    for variant in with_obs.cells:
+        for pattern in with_obs.cells[variant]:
+            a = with_obs.cells[variant][pattern]
+            b = without.cells[variant][pattern]
+            # == (not approx): virtual time must not shift by one float ulp
+            assert a.throughput_mbps == b.throughput_mbps, (variant, pattern)
+            assert a.defrag_write_mb == b.defrag_write_mb
+            assert a.defrag_read_mb == b.defrag_read_mb
+            assert a.defrag_elapsed == b.defrag_elapsed
+            assert a.fragments_after == b.fragments_after
+    # and the instrumented run actually captured telemetry
+    sample = with_obs.cells["fragpicker_b"]["seq_read"].obs
+    assert sample is not None and sample.attribution is not None
+    assert without.cells["fragpicker_b"]["seq_read"].obs is None

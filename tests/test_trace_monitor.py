@@ -64,3 +64,25 @@ def test_zero_size_ios_ignored(fs):
     with SyscallMonitor(fs) as monitor:
         fs.read(empty, 0, 4 * KIB)  # EOF: size clamps to 0
     assert monitor.records == []
+
+
+def test_probe_emits_into_obs_event_ring(fs):
+    """With obs enabled, probe records mirror into the shared event ring."""
+    from repro.obs import hooks
+    from repro.obs.hooks import Instrumentation
+
+    try:
+        with hooks.use(Instrumentation()) as obs:
+            handle = fs.open("/f", o_direct=True, create=True, app="db")
+            with SyscallMonitor(fs) as monitor:
+                now = fs.write(handle, 0, 8 * KIB).finish_time
+                fs.read(handle, 0, 4 * KIB, now=now)
+            names = [e.name for e in obs.spans.events if e.name.startswith("syscall.")]
+        assert "syscall.write" in names and "syscall.read" in names
+        ring = [e for e in obs.spans.events if e.name == "syscall.read"]
+        assert ring[0].track == "syscall"
+        assert ring[0].attrs["app"] == "db"
+        assert ring[0].attrs["ino"] == fs.inode_of("/f").ino
+        assert len(monitor.records) == 2  # analysis input is untouched
+    finally:
+        hooks.disable()
