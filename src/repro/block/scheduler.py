@@ -12,6 +12,8 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from .request import IoCommand
 from .tracer import BlockTracer
+from ..errors import DeviceIOError, InjectedCrash
+from ..faults import hooks as fault_hooks
 from ..obs import hooks as obs_hooks
 
 if TYPE_CHECKING:  # avoid a block <-> device import cycle at runtime
@@ -42,6 +44,7 @@ class BlockScheduler:
         self.kernel_overhead_per_request = kernel_overhead_per_request
         self.tracer = tracer if tracer is not None else BlockTracer()
         self.obs = obs_hooks.current()
+        self.faults = fault_hooks.current()
         self.requests_submitted = 0
         self.kernel_time_total = 0.0
         #: shared kernel-CPU timeline: request construction serializes
@@ -61,6 +64,24 @@ class BlockScheduler:
         if not commands:
             return SubmitResult(now, 0.0, 0, 0.0, 0.0)
         kernel_time = self.kernel_overhead_per_request * len(commands)
+        if self.faults.enabled:
+            first = commands[0]
+            fire = self.faults.check(
+                "block.submit", op=first.op.value, offset=first.offset,
+                length=sum(c.length for c in commands), now=now,
+            )
+            if fire is not None:
+                if fire.kind == "io_error":
+                    raise DeviceIOError("block layer: injected I/O error before dispatch")
+                if fire.kind == "crash":
+                    raise InjectedCrash("injected power-off in the block layer")
+                if fire.kind == "latency":
+                    # a kernel-side stall (e.g. writeback throttling): the
+                    # batch burns extra CPU time before dispatch
+                    kernel_time += (
+                        fire.latency if fire.latency is not None
+                        else fault_hooks.DEFAULT_LATENCY_SPIKE
+                    )
         cpu_start = max(now, self._cpu_free)
         cpu_done = cpu_start + kernel_time
         self._cpu_free = cpu_done

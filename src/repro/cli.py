@@ -10,6 +10,8 @@ Usage::
     python -m repro obs --smoke              # fast CI smoke variant
     python -m repro bench --smoke --json BENCH_ci.json   # persist a suite run
     python -m repro bench --compare BENCH_base.json BENCH_ci.json
+    python -m repro faults --smoke           # crash sweep + fault campaign
+    python -m repro faults --devices hdd microsd flash optane
 """
 
 from __future__ import annotations
@@ -160,6 +162,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relative regression threshold (default 0.10)")
     bench.add_argument("--warn-only", action="store_true",
                        help="report regressions but always exit 0")
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection survival report: crash-point sweep + seeded campaign",
+    )
+    faults.add_argument("--smoke", action="store_true",
+                        help="fast CI variant (one device, FragPicker only)")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (same seed => same storm)")
+    faults.add_argument("--device", default="optane",
+                        choices=["hdd", "microsd", "flash", "optane"])
+    faults.add_argument("--devices", nargs="+", default=None, metavar="DEV",
+                        choices=["hdd", "microsd", "flash", "optane"],
+                        help="sweep crash points on several device models")
+    faults.add_argument("--fs-type", default="ext4", choices=["ext4"],
+                        help="crash sweep targets the in-place migration path")
+    faults.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the survival report as JSON here")
     return parser
 
 
@@ -225,12 +244,32 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_faults(args) -> int:
+    from .faults.campaign import survival_report
+
+    report = survival_report(
+        seed=args.seed,
+        device=args.device,
+        fs_type=args.fs_type,
+        devices=args.devices,
+        smoke=args.smoke,
+    )
+    print(report.text())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"\nwrote survival report JSON to {args.json}")
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "obs":
         return _run_obs(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "faults":
+        return _run_faults(args)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):

@@ -18,7 +18,7 @@ from .analysis import AnalysisPhase, analyze_records
 from .hotness import hotness_filter
 from .bypass import bypass_range_list
 from .frag_check import range_is_fragmented
-from .migration import Migrator
+from .migration import Migrator, RetryPolicy
 from .recovery import MigrationJournal, RecoveryReport
 from .fragpicker import FragPicker, FragPickerConfig
 from .report import DefragReport
@@ -33,6 +33,7 @@ __all__ = [
     "bypass_range_list",
     "range_is_fragmented",
     "Migrator",
+    "RetryPolicy",
     "MigrationJournal",
     "RecoveryReport",
     "FragPicker",

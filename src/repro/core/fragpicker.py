@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 from ..constants import MIB, READAHEAD_SIZE
-from ..errors import DefragError, NoSpaceError
+from ..errors import DefragError, FaultError, InjectedCrash, NoSpaceError
 from ..fs.base import Filesystem
 from ..fs.fiemap import fragment_count
 from ..trace.records import IORecord
@@ -32,7 +32,7 @@ from .analysis import AnalysisPhase
 from .bypass import bypass_range_list
 from .frag_check import range_is_fragmented
 from .hotness import hotness_filter
-from .migration import Migrator
+from .migration import Migrator, RetryPolicy
 from .range_list import FileRangeList
 from .recovery import MigrationJournal
 from .report import DefragReport
@@ -56,6 +56,9 @@ class FragPickerConfig:
     check_fragmentation: bool = True
     #: tag used for the tool's own I/O (tracing/accounting)
     app: str = "fragpicker"
+    #: bounded retry-with-backoff for transient faults (repro.faults);
+    #: a range that keeps failing degrades to skip-and-report
+    retry: RetryPolicy = RetryPolicy()
 
 
 class FragPicker:
@@ -218,7 +221,50 @@ class FragPicker:
                 yield plan, file_range
 
     def _migrate_one(self, plan: FileRangeList, file_range, report: DefragReport, now: float):
-        """Generator: yields running time after each migration syscall."""
+        """Generator: yields running time after each migration syscall.
+
+        Transient injected faults (:mod:`repro.faults`) are retried with
+        the config's bounded backoff; a range that keeps failing degrades
+        to skip-and-report — one sick file never aborts the whole run.
+        Crashes propagate: nothing survives a power-off but the journal.
+        """
+        retry = self.config.retry
+        failures = 0
+        obs = self.fs.obs
+        while True:
+            try:
+                for now in self._attempt_one(plan, file_range, report, now):
+                    yield now
+                return
+            except InjectedCrash:
+                raise
+            except FaultError as exc:
+                failures += 1
+                now, repaired = self._repair_after_fault(now)
+                if obs.enabled:
+                    obs.event(
+                        "fragpicker.fault", now, file=plan.path,
+                        error=type(exc).__name__, attempt=failures,
+                    )
+                if failures >= retry.attempts or not repaired:
+                    # an unrepaired journal must stop retries: a fresh
+                    # attempt would re-journal the punched zeros and a
+                    # later recovery would replay them over the good data
+                    report.ranges_failed += 1
+                    report.failures[plan.path] = f"{type(exc).__name__}: {exc}"
+                    if obs.enabled:
+                        obs.migration_failed()
+                        obs.event("fragpicker.migration_failed", now, file=plan.path)
+                    yield now
+                    return
+                report.retries += 1
+                if obs.enabled:
+                    obs.migration_retry()
+                now += retry.delay(failures - 1)
+                yield now
+
+    def _attempt_one(self, plan: FileRangeList, file_range, report: DefragReport, now: float):
+        """One migration try for a range (the pre-faults _migrate_one)."""
         if self.config.check_fragmentation and not range_is_fragmented(
             self.fs, plan.path, file_range
         ):
@@ -233,21 +279,37 @@ class FragPicker:
         ipu_restore = self._disable_f2fs_ipu()
         migrated = True
         try:
-            for now in self._migrator.migrate_range_steps(plan.path, file_range, now=now):
-                yield now
-        except NoSpaceError:
-            # Fragmented/insufficient free space: skip, like other tools
-            # would fail (Section 6 limitations).
-            report.ranges_skipped_contiguous += 1
-            migrated = False
+            try:
+                for now in self._migrator.migrate_range_steps(plan.path, file_range, now=now):
+                    yield now
+            except NoSpaceError:
+                # Fragmented/insufficient free space: skip, like other tools
+                # would fail (Section 6 limitations).
+                report.ranges_skipped_contiguous += 1
+                migrated = False
         finally:
+            # account even a faulted attempt's traffic before unwinding
             self._restore_f2fs_ipu(ipu_restore)
-        delta = self.fs.tracer.tag(self.config.app).delta(before)
-        report.read_bytes += delta.read_bytes
-        report.write_bytes += delta.write_bytes
+            delta = self.fs.tracer.tag(self.config.app).delta(before)
+            report.read_bytes += delta.read_bytes
+            report.write_bytes += delta.write_bytes
         if migrated:
             report.ranges_migrated += 1
         yield now
+
+    def _repair_after_fault(self, now: float):
+        """Replay pending journal entries so a retry starts from intact data."""
+        if len(self.journal) == 0:
+            return now, True
+        try:
+            now, _ = self.journal.recover(self.fs, now=now)
+            return now, True
+        except InjectedCrash:
+            raise
+        except FaultError:
+            # recovery itself faulted: the entries stay pending (the data
+            # remains recoverable later), but retrying is no longer safe
+            return now, False
 
     def _warn_if_seek_device(self) -> None:
         """Section 6: FragPicker ignores frag distance, so on devices with

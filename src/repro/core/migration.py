@@ -18,8 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from typing import Optional
-
 from ..constants import MIB, block_align_down
 from ..fs.base import FallocMode, FileHandle, Filesystem
 from .range_list import FileRange
@@ -32,6 +30,29 @@ class MigrationOutcome:
 
     finish_time: float
     moved_bytes: int
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient migration faults.
+
+    A range whose migration raises a :class:`~repro.errors.FaultError` is
+    retried up to ``attempts`` total tries, pausing (in virtual time) an
+    exponentially growing backoff between tries.  Crashes
+    (:class:`~repro.errors.InjectedCrash`) are never retried — nothing
+    survives a power-off except the journal.
+    """
+
+    #: total tries per range (1 = no retries)
+    attempts: int = 3
+    #: virtual-time pause before the first retry
+    backoff: float = 0.002
+    #: backoff growth factor per further retry
+    multiplier: float = 2.0
+
+    def delay(self, retry_index: int) -> float:
+        """Pause before retry ``retry_index`` (0-based)."""
+        return self.backoff * self.multiplier ** retry_index
 
 
 class Migrator:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..fs.base import FallocMode, FileHandle, Filesystem
+from ..obs import hooks as obs_hooks
 
 
 @dataclass
@@ -73,8 +74,17 @@ class MigrationJournal:
     # -- the recovery side -------------------------------------------------
 
     def recover(self, fs: Filesystem, now: float = 0.0, app: str = "recovery") -> Tuple[float, RecoveryReport]:
-        """Replay every incomplete migration chunk (the debugfs step)."""
+        """Replay every incomplete migration chunk (the debugfs step).
+
+        Idempotent: replayed entries are retired as they succeed, so a
+        second pass over an already-recovered journal is a no-op.
+        """
         report = RecoveryReport()
+        obs = obs_hooks.current()
+        span = (
+            obs.span_start("recovery.replay", now, entries=len(self._entries))
+            if obs.enabled else None
+        )
         for token in sorted(self._entries):
             entry = self._entries[token]
             if entry.path not in fs.paths or fs.inode_of(entry.path).ino != entry.ino:
@@ -96,4 +106,10 @@ class MigrationJournal:
             report.entries_replayed += 1
             report.bytes_restored += entry.length
             del self._entries[token]
+        if span is not None:
+            obs.recovery_replayed(report.entries_replayed, report.bytes_restored)
+            span.attrs.update(
+                replayed=report.entries_replayed, skipped=report.entries_skipped
+            )
+            obs.span_finish(span, now)
         return now, report

@@ -27,9 +27,16 @@ class DefragReport:
     ranges_migrated: int = 0
     ranges_skipped_contiguous: int = 0
     ranges_skipped_cold: int = 0
+    #: ranges abandoned after retries were exhausted (skip-and-report —
+    #: a failing file never aborts the whole run)
+    ranges_failed: int = 0
+    #: transient-fault retries across the whole run
+    retries: int = 0
     files_examined: int = 0
     fragments_before: Dict[str, int] = field(default_factory=dict)
     fragments_after: Dict[str, int] = field(default_factory=dict)
+    #: path -> last error, for every range that degraded to skip
+    failures: Dict[str, str] = field(default_factory=dict)
 
     @property
     def elapsed(self) -> float:
@@ -42,10 +49,13 @@ class DefragReport:
     def summary(self) -> str:
         before = sum(self.fragments_before.values())
         after = sum(self.fragments_after.values())
-        return (
+        text = (
             f"{self.tool}: {self.elapsed:.3f}s, "
             f"read {self.read_bytes / MIB:.1f} MiB, write {self.write_bytes / MIB:.1f} MiB, "
             f"migrated {self.ranges_migrated}/{self.ranges_examined} ranges "
             f"({self.ranges_skipped_contiguous} contiguous, {self.ranges_skipped_cold} cold), "
             f"fragments {before} -> {after}"
         )
+        if self.retries or self.ranges_failed:
+            text += f", {self.retries} retries, {self.ranges_failed} failed"
+        return text

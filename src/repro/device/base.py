@@ -25,11 +25,12 @@ does the timeline bookkeeping.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..block.request import IoCommand, IoOp
-from ..errors import DeviceError
+from ..errors import DeviceError, DeviceIOError, InjectedCrash, TornWriteError
+from ..faults import hooks as fault_hooks
 from ..obs import hooks as obs_hooks
 
 
@@ -127,6 +128,11 @@ class StorageDevice(abc.ABC):
     #: Host interface rate, bytes/sec (None = never the bottleneck).
     link_rate: float = None
 
+    #: Characteristic duration of an injected latency spike (an internal
+    #: retry / housekeeping pause), used when a fault rule names none.
+    #: Models override this with their own pathology.
+    fault_latency_spike: float = 0.010
+
     def __init__(self, name: str, capacity: int) -> None:
         if capacity <= 0:
             raise DeviceError("capacity must be positive")
@@ -134,6 +140,9 @@ class StorageDevice(abc.ABC):
         self.capacity = capacity
         self.stats = DeviceStats()
         self.obs = obs_hooks.current()
+        #: fault plane (captured at construction; a null object unless a
+        #: FaultPlan is installed — see repro.faults)
+        self.faults = fault_hooks.current()
         self._controller_free = 0.0
         self._link_free = 0.0
         self._unit_free: Dict[int, float] = {}
@@ -170,10 +179,18 @@ class StorageDevice(abc.ABC):
         batch_work = 0.0
         batch_penalty = 0.0
         observing = self.obs.enabled
+        faulting = self.faults.enabled
+        torn_lost: Optional[int] = None  # bytes a torn write dropped
+        done_bytes = 0
         for command in commands:
+            stall = 0.0
+            if faulting:
+                command, stall, torn_lost = self._apply_fault(command, start_time)
+                if command is None:  # torn down to nothing
+                    break
             plan = self._plan_command(command)
             command_begin = controller
-            dispatched = controller + plan.controller_time
+            dispatched = controller + plan.controller_time + stall
             controller = dispatched
             command_finish = dispatched
             for unit, media_time in plan.unit_work:
@@ -190,18 +207,27 @@ class StorageDevice(abc.ABC):
                 command_finish = max(command_finish, link_end)
             batch_finish = max(batch_finish, command_finish)
             self.stats.account(command)
-            batch_work += plan.controller_time
+            done_bytes += command.length
+            batch_work += plan.controller_time + stall
             batch_penalty += plan.penalty_time
             if observing:
                 # service time: controller pickup to media/link completion
                 self.obs.device_command(
                     self.name, command.op.value, command_finish - command_begin
                 )
+            if torn_lost is not None:
+                break  # the batch tears here: later commands never ran
         self._controller_free = controller
         if not self.supports_queuing:
             # hold every resource until the batch drains
             self._controller_free = batch_finish
         self.stats.busy_time += batch_work
+        if torn_lost is not None:
+            raise TornWriteError(
+                f"{self.name}: torn write — only {done_bytes} bytes of the "
+                "batch reached the media",
+                bytes_written=done_bytes,
+            )
         if observing:
             # wall-clock partition of this batch's latency for attribution:
             # wait behind earlier traffic, then service from pickup to drain
@@ -214,6 +240,45 @@ class StorageDevice(abc.ABC):
         for listener in self._listeners:
             listener(commands, start_time, batch_finish)
         return BatchResult(start_time, batch_finish, batch_work, len(commands))
+
+    def _apply_fault(
+        self, command: IoCommand, now: float
+    ) -> Tuple[Optional[IoCommand], float, Optional[int]]:
+        """Consult the fault plane for one command.
+
+        Returns ``(command, stall, torn_lost)``: the (possibly truncated)
+        command to execute, extra serial latency, and — for a torn write —
+        how many of its bytes will never reach the media (``command`` is
+        ``None`` when nothing at all survives).
+        """
+        fire = self.faults.check(
+            "device.submit",
+            op=command.op.value,
+            offset=command.offset,
+            length=command.length,
+            now=now,
+        )
+        if fire is None:
+            return command, 0.0, None
+        if fire.kind == "io_error":
+            raise DeviceIOError(
+                f"{self.name}: injected I/O error on {command.op.value} "
+                f"at [{command.offset}, {command.end})"
+            )
+        if fire.kind == "crash":
+            raise InjectedCrash(
+                f"{self.name}: injected power-off during {command.op.value}"
+            )
+        if fire.kind == "latency":
+            stall = fire.latency if fire.latency is not None else self.fault_latency_spike
+            return command, stall, None
+        # torn: only a block-aligned prefix of a write completes
+        if command.op is not IoOp.WRITE or fire.torn_length >= command.length:
+            return command, 0.0, None
+        lost = command.length - fire.torn_length
+        if fire.torn_length <= 0:
+            return None, 0.0, command.length
+        return replace(command, length=fire.torn_length), 0.0, lost
 
     def add_listener(self, listener) -> None:
         """Register ``fn(commands, start, finish)`` (used by tracing)."""

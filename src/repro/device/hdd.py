@@ -44,6 +44,10 @@ class HddDevice(StorageDevice):
 
     supports_queuing = False
 
+    #: injected latency spike: a bad-sector retry — several re-reads plus
+    #: a recalibration pass, tens of milliseconds on a 7200 RPM disk
+    fault_latency_spike = 0.050
+
     def __init__(self, capacity: int = 64 * GIB, params: Optional[HddParams] = None, name: str = "hdd") -> None:
         super().__init__(name, capacity)
         self.params = params = params if params is not None else HddParams()

@@ -40,6 +40,10 @@ class MicroSdDevice(StorageDevice):
 
     supports_queuing = False
 
+    #: injected latency spike: the internal housekeeping pause removable
+    #: flash is notorious for (block reclaim behind a tiny mapping cache)
+    fault_latency_spike = 0.100
+
     def __init__(self, capacity: int = 32 * GIB, params: Optional[MicroSdParams] = None, name: str = "microsd") -> None:
         super().__init__(name, capacity)
         self.params = params = params if params is not None else MicroSdParams()

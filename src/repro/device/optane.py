@@ -42,6 +42,10 @@ class OptaneSsd(StorageDevice):
 
     supports_queuing = True
 
+    #: injected latency spike: 3D XPoint has no GC; spikes are short
+    #: controller hiccups (thermal throttle, internal ECC retry)
+    fault_latency_spike = 0.0005
+
     def __init__(self, capacity: int = 64 * GIB, params: Optional[OptaneParams] = None, name: str = "optane") -> None:
         super().__init__(name, capacity)
         self.params = params = params if params is not None else OptaneParams()

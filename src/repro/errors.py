@@ -35,3 +35,34 @@ class FileLocked(FilesystemError):
 
 class DefragError(ReproError):
     """A defragmentation tool could not complete."""
+
+
+class FaultError(ReproError):
+    """Base class for failures injected by :mod:`repro.faults`.
+
+    Retry logic catches this (and only this) family: injected faults are
+    transient by construction, unlike the usage errors above.
+    """
+
+
+class DeviceIOError(FaultError):
+    """An injected I/O failure (the EIO a dying device would return)."""
+
+
+class TornWriteError(FaultError):
+    """An injected torn write: only a prefix of the data reached storage.
+
+    ``bytes_written`` says how much survived; everything past it is lost.
+    """
+
+    def __init__(self, message: str, bytes_written: int = 0) -> None:
+        super().__init__(message)
+        self.bytes_written = bytes_written
+
+
+class InjectedCrash(FaultError):
+    """An injected whole-system crash (sudden power-off).
+
+    Unlike other faults this is *not* retryable — nothing survives except
+    what the :class:`~repro.core.recovery.MigrationJournal` retained.
+    """

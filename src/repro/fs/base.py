@@ -33,13 +33,17 @@ from ..constants import (
     block_align_up,
 )
 from ..device.base import StorageDevice
+from ..faults import hooks as fault_hooks
 from ..obs import hooks as obs_hooks
 from ..errors import (
+    DeviceIOError,
     FileExists,
     FileLocked,
     FileNotFound,
     FilesystemError,
+    InjectedCrash,
     InvalidArgument,
+    TornWriteError,
 )
 from .extent_map import Extent
 from .free_space import FreeSpaceManager
@@ -129,6 +133,8 @@ class Filesystem(abc.ABC):
         #: observability facade (captured at mount time; a null object —
         #: one attribute lookup per syscall — unless obs is enabled)
         self.obs = obs_hooks.current()
+        #: fault plane (same pattern: null object unless a plan is armed)
+        self.faults = fault_hooks.current()
         self.scheduler = BlockScheduler(
             device, kernel_overhead_per_request, tracer=tracer
         )
@@ -229,6 +235,32 @@ class Filesystem(abc.ABC):
         return self.costs.monitor_overhead * len(self._monitors)
 
     # ------------------------------------------------------------------
+    # fault injection (the repro.faults attachment point)
+    # ------------------------------------------------------------------
+
+    def _fault_syscall(self, op: str, inode: Inode, offset: int, length: int, now: float):
+        """Consult the fault plane at syscall entry (site ``fs.<op>``).
+
+        Raises for ``io_error``/``crash`` fires, advances ``now`` for
+        latency fires, and returns ``(now, fire)`` where ``fire`` is
+        non-None only for a torn write the caller must enact.
+        """
+        fire = self.faults.check(f"fs.{op}", op=op, offset=offset, length=length, now=now)
+        if fire is None:
+            return now, None
+        if fire.kind == "io_error":
+            raise DeviceIOError(f"injected EIO during {op} of {inode.path}")
+        if fire.kind == "crash":
+            raise InjectedCrash(f"injected power-off during {op} of {inode.path}")
+        if fire.kind == "latency":
+            stall = (
+                fire.latency if fire.latency is not None
+                else self.device.fault_latency_spike
+            )
+            return now + stall, None
+        return now, fire  # torn: the write path tears the data itself
+
+    # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
 
@@ -246,6 +278,8 @@ class Filesystem(abc.ABC):
         self._emit(
             SyscallEvent("read", handle.app, inode.ino, inode.path, offset, length, handle.o_direct, now)
         )
+        if self.faults.enabled:
+            now, _ = self._fault_syscall("read", inode, offset, length, now)
         if length == 0:
             finish = now + self.costs.syscall_overhead
             return SyscallResult(finish, finish - now, 0, 0, b"" if want_data else None)
@@ -331,6 +365,19 @@ class Filesystem(abc.ABC):
         self._emit(
             SyscallEvent("write", handle.app, inode.ino, inode.path, offset, length, handle.o_direct, now)
         )
+        if self.faults.enabled:
+            now, fire = self._fault_syscall("write", inode, offset, length, now)
+            if fire is not None:
+                # torn page-store write: only a prefix of the data lands
+                torn = fire.torn_length
+                if data is not None and torn > 0:
+                    self.page_store.write(inode.ino, offset, data[:torn])
+                inode.size = max(inode.size, offset + torn)
+                raise TornWriteError(
+                    f"injected torn write of {inode.path}: {torn}/{length} "
+                    "bytes persisted",
+                    bytes_written=torn,
+                )
         if data is not None:
             self.page_store.write(inode.ino, offset, data)
         inode.size = max(inode.size, offset + length)
@@ -377,6 +424,8 @@ class Filesystem(abc.ABC):
         """Flush this inode's dirty pages (delayed allocation happens
         here) and commit metadata."""
         inode = self.inode(handle.ino)
+        if self.faults.enabled:
+            now, _ = self._fault_syscall("fsync", inode, 0, inode.size, now)
         dirty = self.page_cache.dirty_pages(inode.ino)
         requests = 0
         finish = now
@@ -449,6 +498,8 @@ class Filesystem(abc.ABC):
             raise InvalidArgument("fallocate length must be positive")
         inode = self.inode(handle.ino)
         self._check_lock(inode, handle.app)
+        if self.faults.enabled:
+            now, _ = self._fault_syscall("fallocate", inode, offset, length, now)
         if mode is FallocMode.PUNCH_HOLE:
             self._punch_hole(inode, offset, length)
         else:

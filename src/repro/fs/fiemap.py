@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Union
 
 from ..constants import block_align_up
+from ..errors import DeviceIOError, InjectedCrash
 from .base import Filesystem
 from .inode import Inode
 
@@ -33,6 +34,18 @@ def _resolve(fs: Filesystem, target: Union[str, Inode]) -> Inode:
     return fs.inode_of(target)
 
 
+def _fault_check(fs: Filesystem, inode: Inode, offset: int, length: int) -> None:
+    """Site ``fs.fiemap``: the ioctl itself can fail mid-migration."""
+    fire = fs.faults.check("fs.fiemap", op="fiemap", offset=offset, length=length)
+    if fire is None:
+        return
+    if fire.kind == "crash":
+        raise InjectedCrash(f"injected power-off during FIEMAP of {inode.path}")
+    if fire.kind == "io_error":
+        raise DeviceIOError(f"injected FIEMAP failure for {inode.path}")
+    # latency/torn have no host-side meaning for an ioctl; ignore them
+
+
 def fiemap(
     fs: Filesystem,
     target: Union[str, Inode],
@@ -43,6 +56,8 @@ def fiemap(
     inode = _resolve(fs, target)
     if length is None:
         length = max(0, block_align_up(inode.size) - offset)
+    if fs.faults.enabled:
+        _fault_check(fs, inode, offset, length)
     pieces = []
     pos = offset
     for disk, piece_len in inode.extent_map.map_range(offset, length):
@@ -73,6 +88,8 @@ def is_fragmented(fs: Filesystem, target: Union[str, Inode], offset: int, length
     — nothing to read there).
     """
     inode = _resolve(fs, target)
+    if fs.faults.enabled:
+        _fault_check(fs, inode, offset, length)
     ranges = inode.extent_map.disk_ranges(offset, length)
     if len(ranges) <= 1:
         return False

@@ -105,6 +105,11 @@ class Instrumentation:
         self._attr_dev_queue = reg.counter("attrib.device_queue_s")
         self._attr_dev_service = reg.counter("attrib.device_service_s")
         self._attr_dev_penalty = reg.counter("attrib.device_penalty_s")
+        # fault plane / resilience (repro.faults)
+        self._fault: Dict[str, Counter] = {}
+        self._faults_total = reg.counter("faults.injected.total")
+        self._recovery_entries = reg.counter("recovery.entries_replayed")
+        self._recovery_bytes = reg.counter("recovery.bytes_restored")
 
     # -- fs / VFS ------------------------------------------------------
 
@@ -173,6 +178,36 @@ class Instrumentation:
         self._attr_dev_service.inc(service_time - penalty)
         self._attr_dev_penalty.inc(penalty)
 
+    # -- fault plane / resilience (repro.faults) -----------------------
+
+    def fault_injected(self, site: str, kind: str) -> None:
+        """One fault fired at ``site`` (called by the fault plane)."""
+        key = f"faults.injected.{site}.{kind}"
+        counter = self._fault.get(key)
+        if counter is None:
+            counter = self._fault[key] = self.registry.counter(key)
+        counter.inc()
+        self._faults_total.inc()
+
+    def migration_retry(self, tool: str = "fragpicker") -> None:
+        key = f"{tool}.migration_retries"
+        counter = self._fault.get(key)
+        if counter is None:
+            counter = self._fault[key] = self.registry.counter(key)
+        counter.inc()
+
+    def migration_failed(self, tool: str = "fragpicker") -> None:
+        key = f"{tool}.migrations_failed"
+        counter = self._fault.get(key)
+        if counter is None:
+            counter = self._fault[key] = self.registry.counter(key)
+        counter.inc()
+
+    def recovery_replayed(self, entries: int, bytes_restored: int) -> None:
+        """One journal recovery pass finished."""
+        self._recovery_entries.inc(entries)
+        self._recovery_bytes.inc(bytes_restored)
+
     # -- spans / events ------------------------------------------------
 
     def span_start(self, name: str, now: float, track: str = "main", **attrs: object) -> Span:
@@ -236,6 +271,18 @@ class NullInstrumentation:
         service_time: float = 0.0,
         penalty_time: float = 0.0,
     ) -> None:
+        pass
+
+    def fault_injected(self, site: str, kind: str) -> None:
+        pass
+
+    def migration_retry(self, tool: str = "fragpicker") -> None:
+        pass
+
+    def migration_failed(self, tool: str = "fragpicker") -> None:
+        pass
+
+    def recovery_replayed(self, entries: int, bytes_restored: int) -> None:
         pass
 
     def span_start(self, name: str, now: float, track: str = "main", **attrs: object) -> None:

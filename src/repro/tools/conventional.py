@@ -25,6 +25,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..constants import KIB, MIB, block_align_down
 from ..core.range_list import FileRange
+from ..core.recovery import MigrationJournal
 from ..core.report import DefragReport
 from ..errors import NoSpaceError
 from ..fs.base import FallocMode, FileHandle, Filesystem
@@ -50,10 +51,20 @@ class ConventionalConfig:
 class ConventionalDefragmenter:
     """Full-file migration tool."""
 
-    def __init__(self, fs: Filesystem, config: Optional[ConventionalConfig] = None, tool_name: str = "conventional") -> None:
+    def __init__(
+        self,
+        fs: Filesystem,
+        config: Optional[ConventionalConfig] = None,
+        tool_name: str = "conventional",
+        journal: Optional[MigrationJournal] = None,
+    ) -> None:
         self.fs = fs
         self.config = config = config if config is not None else ConventionalConfig()
         self.tool_name = tool_name
+        #: optional crash-safety journal for the in-place punch path, so
+        #: the crash harness can hold conventional tools to the same
+        #: recoverability contract as FragPicker
+        self.journal = journal
 
     # ------------------------------------------------------------------
     # public API
@@ -200,10 +211,15 @@ class ConventionalDefragmenter:
             pos += take
             yield now
         data = b"".join(buffered) if data_needed else None
+        token = None
         if not out_of_place:
+            if self.journal is not None:
+                token = self.journal.record(handle.path, handle.ino, offset, length, data)
             now = self.fs.fallocate(handle, FallocMode.PUNCH_HOLE, offset, length, now=now).finish_time
             now = self.fs.fallocate(handle, FallocMode.ALLOCATE, offset, length, now=now).finish_time
         now = self.fs.write(write_handle, offset, length=length, data=data, now=now).finish_time
+        if token is not None:
+            self.journal.commit(token)
         yield now
 
     # ------------------------------------------------------------------

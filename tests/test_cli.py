@@ -53,6 +53,18 @@ def test_obs_smoke_fanout_shifts_toward_one():
     assert result.defrag.ranges_migrated > 0
 
 
+def test_faults_smoke_survives(capsys, tmp_path):
+    json_path = tmp_path / "faults.json"
+    assert main(["faults", "--smoke", "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "SURVIVED" in out
+    assert "crash points recovered" in out
+    doc = json.loads(json_path.read_text())
+    assert doc["ok"] is True
+    assert doc["sweeps"][0]["recovered"] == doc["sweeps"][0]["points"]
+    assert doc["campaign"]["data_intact"] is True
+
+
 def test_every_experiment_registered():
     # one CLI entry per paper artifact + ablations + extensions
     assert len(EXPERIMENTS) >= 15

@@ -106,6 +106,38 @@ def test_recovery_skips_deleted_files(fs):
     assert report.entries_replayed == 0
 
 
+def test_recovery_skips_recreated_file_with_new_ino(fs):
+    """Same path, different inode: the journalled data belongs to a dead
+    file and must not be replayed over its successor."""
+    _, now = fragmented_file_with_data(fs)
+    journal = MigrationJournal()
+    journal.record("/f", fs.inode_of("/f").ino, 0, 4 * KIB, b"\x01" * 4 * KIB)
+    now = fs.unlink("/f", now=now).finish_time
+    handle = fs.open("/f", o_direct=True, create=True)
+    payload = b"\x7f" * (4 * KIB)
+    now = fs.write(handle, 0, data=payload, now=now).finish_time
+    now, report = journal.recover(fs, now=now)
+    assert report.entries_skipped == 1
+    assert report.entries_replayed == 0
+    assert read_all(fs, "/f", 4 * KIB, now) == payload
+
+
+def test_recovery_is_idempotent(fs):
+    _, now = fragmented_file_with_data(fs)
+    before = read_all(fs, "/f", 32 * KIB, now)
+    journal = MigrationJournal()
+    token = journal.record("/f", fs.inode_of("/f").ino, 0, 4 * KIB, before[:4 * KIB])
+    assert token == 0
+    now, first = journal.recover(fs, now=now)
+    assert first.entries_replayed == 1
+    # a second pass over the drained journal replays nothing and moves
+    # neither the clock nor the data
+    again, second = journal.recover(fs, now=now)
+    assert again == now
+    assert second.entries_replayed == 0 and second.entries_skipped == 0
+    assert read_all(fs, "/f", 32 * KIB, now) == before
+
+
 def test_recovery_clears_stale_lock(fs):
     _, now = fragmented_file_with_data(fs)
     fs.lock_file("/f", "fragpicker")  # crash left the lock behind

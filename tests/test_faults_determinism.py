@@ -1,0 +1,67 @@
+"""Fault injection must be zero-cost when silent, reproducible when armed.
+
+Mirror of ``test_obs_determinism.py``: an armed-but-empty fault plane runs
+every check on the hot path, and must still produce results bit-identical
+to the null plane — checks read the timeline, they never advance it.  And
+a seeded campaign must reproduce itself fire-for-fire.
+"""
+
+import pytest
+
+from repro.bench.experiments import synthetic_defrag
+from repro.constants import MIB
+from repro.faults import FaultPlan, FaultPlane, hooks
+from repro.faults.campaign import CampaignConfig, run_campaign
+
+
+@pytest.fixture(autouse=True)
+def _disarm_after():
+    yield
+    hooks.disarm()
+
+
+def _run_once(armed: bool):
+    if armed:
+        # a live plane with an empty plan: every layer consults it
+        context = hooks.use(FaultPlane(FaultPlan(), active=True))
+    else:
+        context = hooks.use(hooks.NULL)
+    with context:
+        return synthetic_defrag.run(
+            "ext4", "flash",
+            file_size=4 * MIB,
+            variants=("original", "fragpicker_b"),
+            patterns=("seq_read", "stride_read"),
+        )
+
+
+def test_armed_empty_plane_is_bit_identical():
+    armed = _run_once(armed=True)
+    silent = _run_once(armed=False)
+    assert set(armed.cells) == set(silent.cells)
+    for variant in armed.cells:
+        for pattern in armed.cells[variant]:
+            a = armed.cells[variant][pattern]
+            b = silent.cells[variant][pattern]
+            # == (not approx): virtual time must not shift by one float ulp
+            assert a.throughput_mbps == b.throughput_mbps, (variant, pattern)
+            assert a.defrag_write_mb == b.defrag_write_mb
+            assert a.defrag_read_mb == b.defrag_read_mb
+            assert a.defrag_elapsed == b.defrag_elapsed
+            assert a.fragments_after == b.fragments_after
+
+
+def test_campaign_fingerprint_is_reproducible():
+    first = run_campaign(CampaignConfig(seed=11, files=2))
+    second = run_campaign(CampaignConfig(seed=11, files=2))
+    assert first.fingerprint == second.fingerprint
+    assert first.faults_injected == second.faults_injected
+    assert first.by_site_kind == second.by_site_kind
+
+
+def test_different_seeds_draw_different_storms():
+    storms = {
+        run_campaign(CampaignConfig(seed=seed, files=2)).fingerprint
+        for seed in (0, 1, 2, 3)
+    }
+    assert len(storms) > 1

@@ -1,0 +1,212 @@
+"""Injector behaviour at every layer the fault plane reaches."""
+
+import pytest
+
+from repro.constants import GIB, KIB
+from repro.device import make_device
+from repro.errors import DeviceIOError, InjectedCrash, TornWriteError
+from repro.faults import FaultPlan, FaultRule, NullFaultPlane, hooks
+from repro.fs import make_filesystem
+from repro.fs.fiemap import fiemap
+from repro.obs import hooks as obs_hooks
+from repro.obs.hooks import Instrumentation
+
+
+@pytest.fixture(autouse=True)
+def _disarm_after():
+    yield
+    hooks.disarm()
+    obs_hooks.disable()
+
+
+def fresh_fs(plan=None, device="optane", active=True):
+    """Build a filesystem whose layers captured a live plane."""
+    plane = hooks.arm(plan if plan is not None else FaultPlan(), active=False)
+    fs = make_filesystem("ext4", make_device(device, capacity=1 * GIB))
+    if active:
+        plane.activate()
+    return fs, plane
+
+
+def write_file(fs, path="/victim", blocks=4, now=0.0):
+    handle = fs.open(path, o_direct=True, create=True)
+    for i in range(blocks):
+        payload = bytes([i + 1]) * (4 * KIB)
+        now = fs.write(handle, i * 4 * KIB, data=payload, now=now).finish_time
+    return handle, now
+
+
+# ----------------------------------------------------------------------
+# device layer
+# ----------------------------------------------------------------------
+
+def test_device_io_error():
+    fs, _ = fresh_fs(FaultPlan().io_error("device.submit", op="write"))
+    with pytest.raises(DeviceIOError):
+        write_file(fs)
+
+
+def test_device_crash():
+    fs, _ = fresh_fs(FaultPlan().add(FaultRule(site="device.submit", kind="crash")))
+    with pytest.raises(InjectedCrash):
+        write_file(fs)
+
+
+def test_device_latency_spike_slows_the_batch():
+    fs_clean, _ = fresh_fs(FaultPlan())
+    _, clean_finish = write_file(fs_clean)
+    fs_slow, plane = fresh_fs(FaultPlan().latency_spike("device.submit", latency=0.5))
+    _, slow_finish = write_file(fs_slow)
+    assert plane.stats.total == 1
+    assert slow_finish == pytest.approx(clean_finish + 0.5)
+
+
+def test_device_latency_uses_model_characteristic_spike():
+    # no explicit duration: the device model's pathology applies
+    fs, plane = fresh_fs(FaultPlan().latency_spike("device.submit"), device="hdd")
+    assert fs.device.fault_latency_spike == 0.050
+    assert plane.stats.total == 0
+
+
+def test_device_torn_write_truncates_the_batch():
+    fs, plane = fresh_fs(FaultPlan().torn_write("device.submit", torn_fraction=0.5))
+    with pytest.raises(TornWriteError) as info:
+        handle = fs.open("/t", o_direct=True, create=True)
+        fs.write(handle, 0, data=b"\xaa" * (16 * KIB))
+    assert 0 < info.value.bytes_written < 16 * KIB
+    assert plane.stats.by_site_kind == {"device.submit.torn": 1}
+
+
+# ----------------------------------------------------------------------
+# fs layer
+# ----------------------------------------------------------------------
+
+def test_fs_write_io_error():
+    fs, _ = fresh_fs(FaultPlan().io_error("fs.write"))
+    with pytest.raises(DeviceIOError):
+        write_file(fs)
+
+
+def test_fs_torn_write_persists_only_a_prefix():
+    fs, _ = fresh_fs(FaultPlan().torn_write("fs.write", torn_fraction=0.5), active=False)
+    handle, now = write_file(fs, blocks=1)
+    hooks.current().activate()
+    with pytest.raises(TornWriteError) as info:
+        fs.write(handle, 0, data=b"\xbb" * (8 * KIB), now=now)
+    torn = info.value.bytes_written
+    assert torn == 4 * KIB  # half of 8 KiB, block-aligned
+    stored = fs.page_store.read(handle.ino, 0, 8 * KIB)
+    assert stored[:torn] == b"\xbb" * torn
+    assert stored[torn:torn + 4 * KIB] != b"\xbb" * (4 * KIB)
+
+
+def test_fs_fallocate_io_error():
+    from repro.fs.base import FallocMode
+    fs, _ = fresh_fs(FaultPlan().io_error("fs.fallocate"))
+    handle, now = write_file(fs)
+    with pytest.raises(DeviceIOError):
+        fs.fallocate(handle, FallocMode.PUNCH_HOLE, 0, 4 * KIB, now=now)
+
+
+def test_fs_fsync_crash():
+    fs, _ = fresh_fs(FaultPlan().add(FaultRule(site="fs.fsync", kind="crash")))
+    handle, now = write_file(fs)
+    with pytest.raises(InjectedCrash):
+        fs.fsync(handle, now=now)
+
+
+def test_fiemap_io_error():
+    fs, _ = fresh_fs(FaultPlan().io_error("fs.fiemap"))
+    write_file(fs)
+    with pytest.raises(DeviceIOError):
+        fiemap(fs, "/victim")
+
+
+# ----------------------------------------------------------------------
+# triggers and filters
+# ----------------------------------------------------------------------
+
+def test_after_ops_fires_exactly_once_at_the_nth_op():
+    fs, plane = fresh_fs(FaultPlan().io_error("fs.write", after_ops=3))
+    handle = fs.open("/n", o_direct=True, create=True)
+    now = fs.write(handle, 0, data=b"\x01" * (4 * KIB)).finish_time
+    now = fs.write(handle, 4 * KIB, data=b"\x02" * (4 * KIB), now=now).finish_time
+    with pytest.raises(DeviceIOError):
+        fs.write(handle, 8 * KIB, data=b"\x03" * (4 * KIB), now=now)
+    # max_fires=1 by default: the 4th write sails through
+    now = fs.write(handle, 8 * KIB, data=b"\x03" * (4 * KIB), now=now).finish_time
+    assert plane.stats.total == 1
+
+
+def test_lba_filter_targets_a_range():
+    plan = FaultPlan().io_error("fs.write", lba=(8 * KIB, 12 * KIB))
+    fs, plane = fresh_fs(plan)
+    handle = fs.open("/lba", o_direct=True, create=True)
+    now = fs.write(handle, 0, data=b"\x01" * (4 * KIB)).finish_time  # misses
+    with pytest.raises(DeviceIOError):
+        fs.write(handle, 8 * KIB, data=b"\x02" * (4 * KIB), now=now)  # overlaps
+    assert plane.stats.total == 1
+
+
+def test_op_filter_spares_other_ops():
+    fs, plane = fresh_fs(FaultPlan().io_error("device.submit", op="read"))
+    handle, now = write_file(fs)  # writes only: no fire
+    assert plane.stats.total == 0
+    with pytest.raises(DeviceIOError):
+        fs.read(handle, 0, 4 * KIB, now=now)
+
+
+def test_at_time_gates_on_virtual_time():
+    plan = FaultPlan().add(FaultRule(site="fs.write", kind="io_error", at_time=100.0))
+    fs, plane = fresh_fs(plan)
+    write_file(fs)  # virtual time well below 100
+    assert plane.stats.total == 0
+    handle = fs.open("/late", o_direct=True, create=True)
+    with pytest.raises(DeviceIOError):
+        fs.write(handle, 0, data=b"\x01" * (4 * KIB), now=200.0)
+
+
+def test_probability_stream_is_seeded():
+    def fires_for(seed):
+        plan = FaultPlan(seed).latency_spike(
+            "fs.write", latency=0.0, probability=0.5, max_fires=0)
+        fs, plane = fresh_fs(plan)
+        write_file(fs, blocks=16)
+        return [fire.now for fire in plane.stats.fires]
+
+    assert fires_for(5) == fires_for(5)
+    assert fires_for(5) != fires_for(6)
+
+
+def test_inactive_plane_sees_nothing():
+    fs, plane = fresh_fs(FaultPlan().io_error("fs.write"), active=False)
+    write_file(fs)  # no raise: the plane is not active yet
+    assert plane.stats.total == 0
+    assert plane.ops_seen("fs") == 0
+
+
+def test_ops_seen_counts_only_while_active():
+    fs, plane = fresh_fs(FaultPlan())
+    write_file(fs, blocks=3)
+    assert plane.ops_seen("fs") == 3
+    assert plane.ops_seen("fs.write") == 3
+    assert plane.ops_seen("device") > 0
+
+
+# ----------------------------------------------------------------------
+# defaults and observability
+# ----------------------------------------------------------------------
+
+def test_default_plane_is_null():
+    assert isinstance(hooks.current(), NullFaultPlane) or hooks.current() is hooks.NULL
+    fs = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    assert fs.faults.enabled is False
+    assert fs.device.faults.enabled is False
+
+
+def test_fires_surface_in_obs_metrics():
+    with obs_hooks.use(Instrumentation()) as obs:
+        fs, _ = fresh_fs(FaultPlan().latency_spike("fs.write", latency=0.0))
+        write_file(fs)
+    assert obs.registry.counter("faults.injected.total").value == 1
+    assert obs.registry.counter("faults.injected.fs.write.latency").value == 1

@@ -1,0 +1,69 @@
+"""The fault-plan DSL: validation and fluent builders."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.faults import FaultPlan, FaultRule
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(InvalidArgument):
+        FaultRule(site="fs.write", kind="gremlin")
+
+
+def test_probability_bounds():
+    with pytest.raises(InvalidArgument):
+        FaultRule(site="fs", kind="io_error", probability=1.5)
+    with pytest.raises(InvalidArgument):
+        FaultRule(site="fs", kind="io_error", probability=-0.1)
+    FaultRule(site="fs", kind="io_error", probability=0.0)
+    FaultRule(site="fs", kind="io_error", probability=1.0)
+
+
+def test_after_ops_is_one_based():
+    with pytest.raises(InvalidArgument):
+        FaultRule(site="fs", kind="crash", after_ops=0)
+    FaultRule(site="fs", kind="crash", after_ops=1)
+
+
+def test_torn_fraction_bounds():
+    with pytest.raises(InvalidArgument):
+        FaultRule(site="fs.write", kind="torn", torn_fraction=1.0)
+    FaultRule(site="fs.write", kind="torn", torn_fraction=0.0)
+
+
+def test_max_fires_nonnegative():
+    with pytest.raises(InvalidArgument):
+        FaultRule(site="fs", kind="io_error", max_fires=-1)
+
+
+def test_fluent_builders_chain():
+    plan = (
+        FaultPlan(seed=3)
+        .io_error("device.submit", op="read")
+        .latency_spike("fs.fsync", latency=0.25)
+        .torn_write("fs.write", torn_fraction=0.25)
+        .crash("fs", after_ops=9)
+    )
+    kinds = [rule.kind for rule in plan.rules]
+    assert kinds == ["io_error", "latency", "torn", "crash"]
+    assert plan.rules[1].latency == 0.25
+    assert plan.rules[2].op == "write"  # torn implies write
+    assert plan.rules[3].after_ops == 9
+    assert plan.seed == 3
+
+
+def test_scaled_multiplies_probabilities_and_caps():
+    plan = (
+        FaultPlan(seed=1)
+        .io_error("fs.write", probability=0.2)
+        .io_error("fs.read", probability=0.8)
+        .crash("fs", after_ops=1)
+    )
+    scaled = plan.scaled(2.0)
+    assert scaled.seed == plan.seed
+    assert scaled.rules[0].probability == pytest.approx(0.4)
+    assert scaled.rules[1].probability == 1.0  # capped
+    assert scaled.rules[2].probability is None  # deterministic rules untouched
+    # original untouched
+    assert plan.rules[0].probability == pytest.approx(0.2)

@@ -1,0 +1,132 @@
+"""Graceful degradation: bounded retry, skip-and-report, crash propagation."""
+
+import pytest
+
+from repro.constants import GIB, KIB
+from repro.core import FragPicker, FragPickerConfig, RetryPolicy
+from repro.device import make_device
+from repro.errors import InjectedCrash
+from repro.faults import FaultPlan, hooks
+from repro.fs import make_filesystem
+from repro.obs import hooks as obs_hooks
+from repro.obs.hooks import Instrumentation
+
+
+@pytest.fixture(autouse=True)
+def _disarm_after():
+    yield
+    hooks.disarm()
+    obs_hooks.disable()
+
+
+def fragmented_fs(plan, files=1, pieces=8):
+    """Filesystem + fragmented paths, built under an (inactive) plane."""
+    plane = hooks.arm(plan, active=False)
+    fs = make_filesystem("ext4", make_device("optane", capacity=1 * GIB))
+    now = 0.0
+    paths = []
+    for f in range(files):
+        path = f"/r/f{f}"
+        handle = fs.open(path, o_direct=True, create=True)
+        dummy = fs.open(path + ".d", o_direct=True, create=True)
+        for i in range(pieces):
+            payload = bytes([(f * pieces + i) % 251 + 1]) * (4 * KIB)
+            now = fs.write(handle, i * 4 * KIB, data=payload, now=now).finish_time
+            now = fs.write(dummy, i * 4 * KIB, 4 * KIB, now=now).finish_time
+        paths.append(path)
+    return fs, plane, paths, now
+
+
+def contents(fs, paths):
+    return {
+        p: fs.page_store.read(fs.inode_of(p).ino, 0, fs.inode_of(p).size)
+        for p in paths
+    }
+
+
+def test_retry_policy_backoff_grows():
+    policy = RetryPolicy(attempts=4, backoff=0.002, multiplier=2.0)
+    assert policy.delay(0) == pytest.approx(0.002)
+    assert policy.delay(1) == pytest.approx(0.004)
+    assert policy.delay(2) == pytest.approx(0.008)
+
+
+def test_transient_fault_is_retried_and_succeeds():
+    fs, plane, paths, now = fragmented_fs(FaultPlan().io_error("fs.write"))
+    before = contents(fs, paths)
+    picker = FragPicker(fs)
+    plane.activate()
+    report = picker.defragment_bypass(paths, now=now)
+    assert report.retries == 1
+    assert report.ranges_failed == 0
+    assert report.failures == {}
+    assert len(picker.journal) == 0
+    assert contents(fs, paths) == before
+    assert "1 retries" in report.summary()
+
+
+def test_exhausted_retries_skip_and_report():
+    # every fs.write fails, forever: the repair also faults, so the file
+    # is skipped immediately and its journal entries stay pending
+    plan = FaultPlan().io_error("fs.write", max_fires=0)
+    fs, plane, paths, now = fragmented_fs(plan, files=2)
+    before = contents(fs, paths)
+    picker = FragPicker(fs)
+    plane.activate()
+    report = picker.defragment_bypass(paths, now=now)
+    assert report.ranges_failed == len(paths)
+    assert sorted(report.failures) == sorted(paths)
+    assert len(picker.journal) > 0  # pending, not lost
+    # operator-level recovery after the storm restores every byte
+    plane.deactivate()
+    picker.journal.recover(fs, now=report.finished_at)
+    assert len(picker.journal) == 0
+    assert contents(fs, paths) == before
+
+
+def test_retry_budget_is_bounded():
+    # fallocate faults don't break the repair path (which re-allocates
+    # via recover's own fallocate... also matching!) — use fiemap instead,
+    # which recovery never calls, to isolate the retry counter
+    plan = FaultPlan().io_error("fs.fiemap", max_fires=0)
+    config = FragPickerConfig(retry=RetryPolicy(attempts=3))
+    fs, plane, paths, now = fragmented_fs(plan)
+    picker = FragPicker(fs, config)
+    plane.activate()
+    report = picker.defragment_bypass(paths, now=now)
+    assert report.retries == 2          # attempts - 1 retries, then give up
+    assert report.ranges_failed == 1
+
+
+def test_injected_crash_is_never_retried():
+    plan = FaultPlan().crash("fs", after_ops=5)
+    fs, plane, paths, now = fragmented_fs(plan)
+    picker = FragPicker(fs)
+    plane.activate()
+    with pytest.raises(InjectedCrash):
+        picker.defragment_bypass(paths, now=now)
+
+
+def test_degradation_is_visible_in_obs():
+    plan = FaultPlan().io_error("fs.fiemap", max_fires=0)
+    with obs_hooks.use(Instrumentation()) as obs:
+        # layers capture obs at construction: build everything inside
+        fs, plane, paths, now = fragmented_fs(plan)
+        picker = FragPicker(fs)
+        plane.activate()
+        picker.defragment_bypass(paths, now=now)
+    reg = obs.registry
+    assert reg.counter("fragpicker.migration_retries").value == 2
+    assert reg.counter("fragpicker.migrations_failed").value == 1
+    assert reg.counter("faults.injected.total").value == 3
+
+
+def test_recovery_metrics_are_recorded():
+    plan = FaultPlan().io_error("fs.write")
+    with obs_hooks.use(Instrumentation()) as obs:
+        fs, plane, paths, now = fragmented_fs(plan)
+        picker = FragPicker(fs)
+        plane.activate()
+        picker.defragment_bypass(paths, now=now)
+    assert obs.registry.counter("recovery.entries_replayed").value >= 1
+    assert obs.registry.counter("recovery.bytes_restored").value >= 4 * KIB
