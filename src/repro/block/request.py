@@ -9,7 +9,7 @@ paper's *request splitting*.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..errors import InvalidArgument
 
@@ -20,9 +20,14 @@ class IoOp(enum.Enum):
     DISCARD = "discard"
 
 
-@dataclass(frozen=True)
-class IoCommand:
+class IoCommand(NamedTuple):
     """One contiguous-LBA device command.
+
+    A ``NamedTuple`` rather than a dataclass: commands are constructed in
+    the per-piece splitter loop, the single hottest allocation site in the
+    stack, and the tuple constructor is about twice as fast.  Argument
+    validation lives in :meth:`validate` — ranges are validated once at
+    the syscall boundary, not per command.
 
     Attributes:
         op: read / write / discard.
@@ -37,15 +42,16 @@ class IoCommand:
     length: int
     tag: str = ""
 
-    def __post_init__(self) -> None:
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def validate(self) -> "IoCommand":
         if self.offset < 0:
             raise InvalidArgument(f"negative device offset {self.offset}")
         if self.length <= 0:
             raise InvalidArgument(f"non-positive command length {self.length}")
-
-    @property
-    def end(self) -> int:
-        return self.offset + self.length
+        return self
 
     def retagged(self, tag: str) -> "IoCommand":
         return IoCommand(self.op, self.offset, self.length, tag)

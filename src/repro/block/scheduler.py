@@ -45,6 +45,10 @@ class BlockScheduler:
         self.tracer = tracer if tracer is not None else BlockTracer()
         self.obs = obs_hooks.current()
         self.faults = fault_hooks.current()
+        # pre-resolved sentinels so the null-plane submit path skips
+        # facade dispatch entirely
+        self._observing = self.obs.enabled
+        self._faulting = self.faults.enabled
         self.requests_submitted = 0
         self.kernel_time_total = 0.0
         #: shared kernel-CPU timeline: request construction serializes
@@ -64,7 +68,7 @@ class BlockScheduler:
         if not commands:
             return SubmitResult(now, 0.0, 0, 0.0, 0.0)
         kernel_time = self.kernel_overhead_per_request * len(commands)
-        if self.faults.enabled:
+        if self._faulting:
             first = commands[0]
             fire = self.faults.check(
                 "block.submit", op=first.op.value, offset=first.offset,
@@ -89,7 +93,7 @@ class BlockScheduler:
         self.requests_submitted += len(commands)
         self.kernel_time_total += kernel_time
         self.tracer.observe(commands, now)
-        if self.obs.enabled:
+        if self._observing:
             # split fan-out (commands per syscall), kernel CPU, and how far
             # behind real time the shared kernel-CPU timeline is running;
             # queue_wait/base_cpu partition this submit's latency for

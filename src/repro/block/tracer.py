@@ -73,16 +73,21 @@ class BlockTracer:
         self.keep_log = keep_log
         self.log: List[IoCommand] = []
         self.obs = obs_hooks.current()
+        # pre-resolved sentinel: null-plane observe() never touches the facade
+        self._emitting = self.obs.enabled
 
     def observe(self, commands: Iterable[IoCommand], now: float = 0.0) -> None:
-        emit = self.obs.enabled
+        emit = self._emitting
+        by_tag = self.by_tag
+        total_account = self.total.account
+        keep_log = self.keep_log
         for command in commands:
-            self.total.account(command)
-            counter = self.by_tag.get(command.tag)
+            total_account(command)
+            counter = by_tag.get(command.tag)
             if counter is None:
-                counter = self.by_tag[command.tag] = TrafficCounter()
+                counter = by_tag[command.tag] = TrafficCounter()
             counter.account(command)
-            if self.keep_log:
+            if keep_log:
                 self.log.append(command)
             if emit:
                 self.obs.event(

@@ -12,6 +12,8 @@ Usage::
     python -m repro bench --compare BENCH_base.json BENCH_ci.json
     python -m repro faults --smoke           # crash sweep + fault campaign
     python -m repro faults --devices hdd microsd flash optane
+    python -m repro perf --smoke --json PERF_ci.json     # wall-clock suite
+    python -m repro perf --compare PERF_base.json PERF_ci.json
 """
 
 from __future__ import annotations
@@ -162,6 +164,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relative regression threshold (default 0.10)")
     bench.add_argument("--warn-only", action="store_true",
                        help="report regressions but always exit 0")
+    perf = sub.add_parser(
+        "perf",
+        help="wall-clock performance suite: persist PERF_*.json, compare runs",
+    )
+    perf.add_argument("--smoke", action="store_true",
+                      help="small/fast suite variant (CI smoke job)")
+    perf.add_argument("--label", default=None,
+                      help="document label (default: 'smoke' or 'full')")
+    perf.add_argument("--json", default=None, metavar="PATH",
+                      help="write the PERF document here "
+                           "(default: PERF_<label>.json)")
+    perf.add_argument("--no-profile", action="store_true",
+                      help="skip the bundled cProfile hot-function table")
+    perf.add_argument("--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+                      help="compare two PERF documents instead of running; "
+                           "exits 1 when a regression exceeds the threshold")
+    perf.add_argument("--threshold", type=float, default=0.20,
+                      help="relative regression threshold (default 0.20; "
+                           "wall clock is noisier than virtual time)")
+    perf.add_argument("--warn-only", action="store_true",
+                      help="report regressions but always exit 0")
     faults = sub.add_parser(
         "faults",
         help="fault-injection survival report: crash-point sweep + seeded campaign",
@@ -244,6 +267,39 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_perf(args) -> int:
+    from . import perf
+
+    if args.compare:
+        baseline = perf.load(args.compare[0])
+        candidate = perf.load(args.compare[1])
+        comparison = perf.compare(baseline, candidate, threshold=args.threshold)
+        print(comparison.report())
+        if comparison.ok or args.warn_only:
+            return 0
+        return 1
+
+    label = args.label or ("smoke" if args.smoke else "full")
+    document, results = perf.run_suite(
+        smoke=args.smoke, label=label, profile=not args.no_profile
+    )
+    path = args.json or f"PERF_{label}.json"
+    perf.save(path, document)
+    print(f"wrote perf document to {path} "
+          f"(schema {document['schema']}, fingerprint {document['fingerprint']})")
+    width = max(len(result.name) for result in results)
+    for result in results:
+        print(f"  {result.name.ljust(width)}  {result.ops:>8} ops  "
+              f"{result.wall_s:>9.4f} s  {result.ops_per_sec:>12.0f} ops/s")
+    print(f"  {'total'.ljust(width)}  {'':>8}      "
+          f"{document['total_wall_s']:>9.4f} s")
+    if document["profile"]:
+        print("\nhot functions (end-to-end run, by self time):")
+        for row in document["profile"][:10]:
+            print(f"  {row['tottime_s']:>9.4f} s  {row['calls']:>8}  {row['func']}")
+    return 0
+
+
 def _run_faults(args) -> int:
     from .faults.campaign import survival_report
 
@@ -268,6 +324,8 @@ def main(argv=None) -> int:
         return _run_obs(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "perf":
+        return _run_perf(args)
     if args.command == "faults":
         return _run_faults(args)
     if args.command == "list":

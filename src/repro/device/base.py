@@ -25,7 +25,7 @@ does the timeline bookkeeping.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..block.request import IoCommand, IoOp
@@ -143,6 +143,10 @@ class StorageDevice(abc.ABC):
         #: fault plane (captured at construction; a null object unless a
         #: FaultPlan is installed — see repro.faults)
         self.faults = fault_hooks.current()
+        # pre-resolved sentinels: with null planes the hot loop never
+        # touches the facades at all
+        self._observing = self.obs.enabled
+        self._faulting = self.faults.enabled
         self._controller_free = 0.0
         self._link_free = 0.0
         self._unit_free: Dict[int, float] = {}
@@ -178,8 +182,15 @@ class StorageDevice(abc.ABC):
         batch_finish = start_time
         batch_work = 0.0
         batch_penalty = 0.0
-        observing = self.obs.enabled
-        faulting = self.faults.enabled
+        observing = self._observing
+        faulting = self._faulting
+        # hot loop: every split request of every syscall lands here, so
+        # resolve attribute lookups once per batch
+        plan_command = self._plan_command
+        unit_free = self._unit_free
+        unit_get = unit_free.get
+        account = self.stats.account
+        link_rate = self.link_rate
         torn_lost: Optional[int] = None  # bytes a torn write dropped
         done_bytes = 0
         for command in commands:
@@ -188,25 +199,30 @@ class StorageDevice(abc.ABC):
                 command, stall, torn_lost = self._apply_fault(command, start_time)
                 if command is None:  # torn down to nothing
                     break
-            plan = self._plan_command(command)
+            plan = plan_command(command)
             command_begin = controller
             dispatched = controller + plan.controller_time + stall
             controller = dispatched
             command_finish = dispatched
             for unit, media_time in plan.unit_work:
-                unit_start = max(dispatched, self._unit_free.get(unit, 0.0))
+                unit_start = unit_get(unit, 0.0)
+                if unit_start < dispatched:
+                    unit_start = dispatched
                 unit_end = unit_start + media_time
-                self._unit_free[unit] = unit_end
+                unit_free[unit] = unit_end
                 batch_work += media_time
-                command_finish = max(command_finish, unit_end)
-            if plan.link_bytes and self.link_rate:
-                link_time = plan.link_bytes / self.link_rate
+                if unit_end > command_finish:
+                    command_finish = unit_end
+            if plan.link_bytes and link_rate:
+                link_time = plan.link_bytes / link_rate
                 link_start = max(dispatched, self._link_free)
                 link_end = link_start + link_time
                 self._link_free = link_end
-                command_finish = max(command_finish, link_end)
-            batch_finish = max(batch_finish, command_finish)
-            self.stats.account(command)
+                if link_end > command_finish:
+                    command_finish = link_end
+            if command_finish > batch_finish:
+                batch_finish = command_finish
+            account(command)
             done_bytes += command.length
             batch_work += plan.controller_time + stall
             batch_penalty += plan.penalty_time
@@ -237,8 +253,9 @@ class StorageDevice(abc.ABC):
                 service_time=batch_finish - pickup,
                 penalty_time=batch_penalty,
             )
-        for listener in self._listeners:
-            listener(commands, start_time, batch_finish)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(commands, start_time, batch_finish)
         return BatchResult(start_time, batch_finish, batch_work, len(commands))
 
     def _apply_fault(
@@ -278,7 +295,7 @@ class StorageDevice(abc.ABC):
         lost = command.length - fire.torn_length
         if fire.torn_length <= 0:
             return None, 0.0, command.length
-        return replace(command, length=fire.torn_length), 0.0, lost
+        return command._replace(length=fire.torn_length), 0.0, lost
 
     def add_listener(self, listener) -> None:
         """Register ``fn(commands, start, finish)`` (used by tracing)."""

@@ -15,13 +15,17 @@ reads on flash (Section 3.3).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..block.request import IoCommand, IoOp
 from ..constants import BLOCK_SIZE, GIB
 from .base import CommandPlan, StorageDevice
 from .ftl import PageMappingFtl
+
+#: bound on the read-plan memo (cleared wholesale on FTL mutation)
+READ_PLAN_CACHE_ENTRIES = 4096
 
 
 @dataclass(frozen=True)
@@ -56,6 +60,14 @@ class FlashSsd(StorageDevice):
             pages_per_block=params.pages_per_block,
             overprovision=params.overprovision,
         )
+        # Read plans are pure *given the current mapping*: cache them
+        # keyed by (offset, length) and drop everything when the FTL
+        # generation moves (any write/discard can re-home pages).
+        self._read_plan_cache: "OrderedDict[Tuple[int, int], CommandPlan]" = OrderedDict()
+        self._read_plan_gen = self.ftl.generation
+        self._discard_overhead_plan = CommandPlan(
+            controller_time=params.command_overhead + params.discard_per_command
+        )
 
     def _pages_of(self, command: IoCommand) -> range:
         first = command.offset // BLOCK_SIZE
@@ -65,14 +77,32 @@ class FlashSsd(StorageDevice):
     def _plan_command(self, command: IoCommand) -> CommandPlan:
         if command.op is IoOp.DISCARD:
             self.ftl.invalidate(list(self._pages_of(command)))
-            return CommandPlan(
-                controller_time=self.params.command_overhead + self.params.discard_per_command
-            )
+            return self._discard_overhead_plan
         per_channel: Dict[int, float] = {}
         if command.op is IoOp.READ:
+            cache = self._read_plan_cache
+            if self._read_plan_gen != self.ftl.generation:
+                cache.clear()
+                self._read_plan_gen = self.ftl.generation
+            key = (command.offset, command.length)
+            plan = cache.get(key)
+            if plan is not None:
+                cache.move_to_end(key)
+                return plan
+            channel_of = self.ftl.channel_of
+            page_read = self.params.page_read
             for lpn in self._pages_of(command):
-                channel = self.ftl.channel_of(lpn)
-                per_channel[channel] = per_channel.get(channel, 0.0) + self.params.page_read
+                channel = channel_of(lpn)
+                per_channel[channel] = per_channel.get(channel, 0.0) + page_read
+            plan = CommandPlan(
+                controller_time=self.params.command_overhead,
+                unit_work=tuple(per_channel.items()),
+                link_bytes=command.length,
+            )
+            if len(cache) >= READ_PLAN_CACHE_ENTRIES:
+                cache.popitem(last=False)
+            cache[key] = plan
+            return plan
         else:
             result = self.ftl.write(list(self._pages_of(command)))
             for channel, pages in result.pages_per_channel.items():

@@ -79,6 +79,9 @@ class PageMappingFtl:
         self.total_erases = 0
         self.host_pages_written = 0
         self.relocated_pages_total = 0
+        #: bumped on every mapping mutation (write/invalidate, including
+        #: GC relocations inside write); read-plan memoization keys on it
+        self.generation = 0
 
     # -- mapping queries -------------------------------------------------
 
@@ -141,6 +144,7 @@ class PageMappingFtl:
 
     def write(self, lpns: List[int]) -> FtlWriteResult:
         """Host write of the given logical pages (out-of-place, striped)."""
+        self.generation += 1
         per_channel: Dict[int, int] = {}
         relocated = 0
         erased = 0
@@ -159,6 +163,7 @@ class PageMappingFtl:
 
     def invalidate(self, lpns: List[int]) -> int:
         """Discard: drop mappings, freeing the pages for GC.  Returns count."""
+        self.generation += 1
         dropped = 0
         for lpn in lpns:
             entry = self.mapping.pop(lpn, None)

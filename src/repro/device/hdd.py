@@ -12,11 +12,15 @@ serializes on one timeline.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 from ..block.request import IoCommand, IoOp
 from ..constants import GIB
 from .base import CommandPlan, StorageDevice
+
+#: bound on the seek-curve memo (distance -> seek time is pure)
+SEEK_CACHE_ENTRIES = 4096
 
 
 @dataclass(frozen=True)
@@ -52,19 +56,33 @@ class HddDevice(StorageDevice):
         super().__init__(name, capacity)
         self.params = params = params if params is not None else HddParams()
         self.head_position = 0
+        # The seek curve is a pure function of distance (the head
+        # *position* is live state, but the power-law evaluation is not);
+        # memoize it — fragmented workloads revisit the same strides.
+        self._seek_cache: "OrderedDict[int, float]" = OrderedDict()
+        self._discard_plan = CommandPlan(controller_time=params.command_overhead)
 
     def seek_time(self, distance: int) -> float:
         """Head movement time for a byte distance (power-law profile)."""
         if distance <= 0:
             return 0.0
+        cache = self._seek_cache
+        cached = cache.get(distance)
+        if cached is not None:
+            cache.move_to_end(distance)
+            return cached
         frac = min(1.0, distance / self.capacity)
         span = self.params.seek_max - self.params.seek_min
-        return self.params.seek_min + span * frac ** self.params.seek_exponent
+        result = self.params.seek_min + span * frac ** self.params.seek_exponent
+        if len(cache) >= SEEK_CACHE_ENTRIES:
+            cache.popitem(last=False)
+        cache[distance] = result
+        return result
 
     def _plan_command(self, command: IoCommand) -> CommandPlan:
         if command.op is IoOp.DISCARD:
             # TRIM is a metadata operation; negligible mechanical work.
-            return CommandPlan(controller_time=self.params.command_overhead)
+            return self._discard_plan
         penalty = 0.0
         distance = abs(command.offset - self.head_position)
         if distance > 0:

@@ -50,29 +50,36 @@ class MicroSdDevice(StorageDevice):
         self._mapping_cache: "OrderedDict[int, None]" = OrderedDict()
         self.mapping_hits = 0
         self.mapping_misses = 0
+        # NOT memoizable beyond this: the mapping-cache lookup below is
+        # the model's state (LRU recency decides the penalty), so plans
+        # must be rebuilt per command; only the constant discard plan and
+        # hoisted parameters are precomputed.
+        self._discard_plan = CommandPlan(
+            controller_time=params.command_overhead + params.discard_overhead
+        )
 
     def _mapping_lookup(self, command: IoCommand) -> float:
         """Charge mapping-cache misses for every region the command spans."""
         penalty = 0.0
-        first = command.offset // self.params.mapping_region
-        last = (command.end - 1) // self.params.mapping_region
+        params = self.params
+        cache = self._mapping_cache
+        first = command.offset // params.mapping_region
+        last = (command.end - 1) // params.mapping_region
         for region in range(first, last + 1):
-            if region in self._mapping_cache:
-                self._mapping_cache.move_to_end(region)
+            if region in cache:
+                cache.move_to_end(region)
                 self.mapping_hits += 1
             else:
                 self.mapping_misses += 1
-                penalty += self.params.mapping_miss_penalty
-                self._mapping_cache[region] = None
-                if len(self._mapping_cache) > self.params.mapping_cache_entries:
-                    self._mapping_cache.popitem(last=False)
+                penalty += params.mapping_miss_penalty
+                cache[region] = None
+                if len(cache) > params.mapping_cache_entries:
+                    cache.popitem(last=False)
         return penalty
 
     def _plan_command(self, command: IoCommand) -> CommandPlan:
         if command.op is IoOp.DISCARD:
-            return CommandPlan(
-                controller_time=self.params.command_overhead + self.params.discard_overhead
-            )
+            return self._discard_plan
         penalty = self._mapping_lookup(command)
         rate = self.params.read_rate if command.op is IoOp.READ else self.params.write_rate
         media = penalty + command.length / rate

@@ -17,12 +17,16 @@ Endurance is tracked as total bytes written against a DWPD budget
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..block.request import IoCommand, IoOp
 from ..constants import BLOCK_SIZE, GIB
 from .base import CommandPlan, StorageDevice
+
+#: bound on the per-device plan memo (op x bank phase x page count keys)
+PLAN_CACHE_ENTRIES = 4096
 
 
 @dataclass(frozen=True)
@@ -50,6 +54,13 @@ class OptaneSsd(StorageDevice):
         super().__init__(name, capacity)
         self.params = params = params if params is not None else OptaneParams()
         self.link_rate = params.interface_rate
+        # Plan memo: bank layout depends only on (op, first bank phase,
+        # page count, length) and the model is stateless, so plans are
+        # pure and cacheable without invalidation.  LRU-bounded.
+        self._plan_cache: "OrderedDict[Tuple[IoOp, int, int, int], CommandPlan]" = OrderedDict()
+        self._discard_plan = CommandPlan(
+            controller_time=params.command_overhead + params.discard_per_command
+        )
 
     def bank_of(self, lpn: int) -> int:
         """Banks interleave at page granularity by address (in-place)."""
@@ -57,23 +68,31 @@ class OptaneSsd(StorageDevice):
 
     def _plan_command(self, command: IoCommand) -> CommandPlan:
         if command.op is IoOp.DISCARD:
-            return CommandPlan(
-                controller_time=self.params.command_overhead + self.params.discard_per_command
-            )
-        page_time = (
-            self.params.page_read if command.op is IoOp.READ else self.params.page_write
-        )
-        per_bank: Dict[int, float] = {}
+            return self._discard_plan
+        params = self.params
         first = command.offset // BLOCK_SIZE
         last = (command.end - 1) // BLOCK_SIZE
+        cache = self._plan_cache
+        key = (command.op, first % params.banks, last - first, command.length)
+        plan = cache.get(key)
+        if plan is not None:
+            cache.move_to_end(key)
+            return plan
+        page_time = params.page_read if command.op is IoOp.READ else params.page_write
+        per_bank: Dict[int, float] = {}
+        banks = params.banks
         for lpn in range(first, last + 1):
-            bank = self.bank_of(lpn)
+            bank = lpn % banks
             per_bank[bank] = per_bank.get(bank, 0.0) + page_time
-        return CommandPlan(
-            controller_time=self.params.command_overhead,
+        plan = CommandPlan(
+            controller_time=params.command_overhead,
             unit_work=tuple(per_bank.items()),
             link_bytes=command.length,
         )
+        if len(cache) >= PLAN_CACHE_ENTRIES:
+            cache.popitem(last=False)
+        cache[key] = plan
+        return plan
 
     # -- endurance -------------------------------------------------------
 

@@ -135,6 +135,10 @@ class Filesystem(abc.ABC):
         self.obs = obs_hooks.current()
         #: fault plane (same pattern: null object unless a plan is armed)
         self.faults = fault_hooks.current()
+        # pre-resolved sentinels: with null planes the syscall paths skip
+        # facade dispatch (and event construction) entirely
+        self._observing = self.obs.enabled
+        self._faulting = self.faults.enabled
         self.scheduler = BlockScheduler(
             device, kernel_overhead_per_request, tracer=tracer
         )
@@ -153,6 +157,7 @@ class Filesystem(abc.ABC):
         self._journal_head = 0
         self._meta_dirty = False
         self._monitors: List[Callable[[SyscallEvent], None]] = []
+        self._probe_cost = 0.0  # maintained by attach/detach_monitor
         #: sysfs-like tunables (e.g. F2FS's inplace-update policy knob)
         self.sysfs: Dict[str, str] = {}
 
@@ -210,7 +215,7 @@ class Filesystem(abc.ABC):
         del self.inodes[inode.ino]
         self._meta_dirty = True
         finish = now + self.costs.syscall_overhead
-        if self.obs.enabled:
+        if self._observing:
             self.obs.syscall("unlink", finish - now)
             self.obs.fs_cpu(finish - now)
         return SyscallResult(finish, finish - now, 0, 0)
@@ -221,18 +226,16 @@ class Filesystem(abc.ABC):
 
     def attach_monitor(self, probe: Callable[[SyscallEvent], None]) -> None:
         self._monitors.append(probe)
+        # extra syscall latency while eBPF probes are attached
+        self._probe_cost = self.costs.monitor_overhead * len(self._monitors)
 
     def detach_monitor(self, probe: Callable[[SyscallEvent], None]) -> None:
         self._monitors.remove(probe)
+        self._probe_cost = self.costs.monitor_overhead * len(self._monitors)
 
     def _emit(self, event: SyscallEvent) -> None:
         for probe in self._monitors:
             probe(event)
-
-    @property
-    def _probe_cost(self) -> float:
-        """Extra syscall latency while eBPF probes are attached."""
-        return self.costs.monitor_overhead * len(self._monitors)
 
     # ------------------------------------------------------------------
     # fault injection (the repro.faults attachment point)
@@ -275,10 +278,11 @@ class Filesystem(abc.ABC):
         """``pread(2)``: buffered (with readahead) or O_DIRECT."""
         inode = self.inode(handle.ino)
         length = max(0, min(length, inode.size - offset))
-        self._emit(
-            SyscallEvent("read", handle.app, inode.ino, inode.path, offset, length, handle.o_direct, now)
-        )
-        if self.faults.enabled:
+        if self._monitors:
+            self._emit(
+                SyscallEvent("read", handle.app, inode.ino, inode.path, offset, length, handle.o_direct, now)
+            )
+        if self._faulting:
             now, _ = self._fault_syscall("read", inode, offset, length, now)
         if length == 0:
             finish = now + self.costs.syscall_overhead
@@ -290,7 +294,7 @@ class Filesystem(abc.ABC):
         else:
             result = self._read_buffered(handle, inode, offset, length, now)
         data = self.page_store.read(inode.ino, offset, length) if want_data else None
-        if self.obs.enabled:
+        if self._observing:
             self.obs.syscall("read", result.finish_time - entry_time)
             self.obs.fs_cpu(self._probe_cost)
         return SyscallResult(
@@ -309,7 +313,7 @@ class Filesystem(abc.ABC):
         commands = split_ranges(IoOp.READ, ranges, tag=handle.app)
         submit = self.scheduler.submit(commands, now)
         finish = max(submit.finish_time, now) + self.costs.syscall_overhead
-        if self.obs.enabled:
+        if self._observing:
             self.obs.fs_cpu(self.costs.syscall_overhead)
         return SyscallResult(finish, finish - now, submit.commands, length)
 
@@ -338,7 +342,7 @@ class Filesystem(abc.ABC):
                 finish = self._writeback_pages(evicted, finish).finish_time
         copy_time = length / self.costs.memcpy_rate
         finish += copy_time + self.costs.syscall_overhead
-        if self.obs.enabled:
+        if self._observing:
             self.obs.fs_cpu(copy_time + self.costs.syscall_overhead)
         return SyscallResult(finish, finish - now, requests, length)
 
@@ -362,10 +366,11 @@ class Filesystem(abc.ABC):
             raise InvalidArgument("write needs data or a positive length")
         inode = self.inode(handle.ino)
         self._check_lock(inode, handle.app)
-        self._emit(
-            SyscallEvent("write", handle.app, inode.ino, inode.path, offset, length, handle.o_direct, now)
-        )
-        if self.faults.enabled:
+        if self._monitors:
+            self._emit(
+                SyscallEvent("write", handle.app, inode.ino, inode.path, offset, length, handle.o_direct, now)
+            )
+        if self._faulting:
             now, fire = self._fault_syscall("write", inode, offset, length, now)
             if fire is not None:
                 # torn page-store write: only a prefix of the data lands
@@ -387,7 +392,7 @@ class Filesystem(abc.ABC):
             result = self._write_direct(handle, inode, offset, length, now)
         else:
             result = self._write_buffered(handle, inode, offset, length, now)
-        if self.obs.enabled:
+        if self._observing:
             self.obs.syscall("write", result.finish_time - entry_time)
             self.obs.fs_cpu(self._probe_cost)
         return SyscallResult(
@@ -405,7 +410,7 @@ class Filesystem(abc.ABC):
         commands = split_ranges(IoOp.WRITE, ranges, tag=handle.app)
         submit = self.scheduler.submit(commands, now)
         finish = max(submit.finish_time, now) + self.costs.syscall_overhead
-        if self.obs.enabled:
+        if self._observing:
             self.obs.fs_cpu(self.costs.syscall_overhead)
         return SyscallResult(finish, finish - now, submit.commands, length)
 
@@ -414,7 +419,7 @@ class Filesystem(abc.ABC):
         last = (offset + length - 1) // BLOCK_SIZE
         evicted = self.page_cache.mark_dirty((inode.ino, page) for page in range(first, last + 1))
         finish = now + length / self.costs.memcpy_rate + self.costs.syscall_overhead
-        if self.obs.enabled:
+        if self._observing:
             self.obs.fs_cpu(finish - now)
         if evicted:
             finish = self._writeback_pages(evicted, finish).finish_time
@@ -424,7 +429,7 @@ class Filesystem(abc.ABC):
         """Flush this inode's dirty pages (delayed allocation happens
         here) and commit metadata."""
         inode = self.inode(handle.ino)
-        if self.faults.enabled:
+        if self._faulting:
             now, _ = self._fault_syscall("fsync", inode, 0, inode.size, now)
         dirty = self.page_cache.dirty_pages(inode.ino)
         requests = 0
@@ -436,7 +441,7 @@ class Filesystem(abc.ABC):
         meta = self._commit_metadata(finish, tag="meta")
         requests += meta.commands
         finish = max(finish, meta.finish_time) + self.costs.syscall_overhead
-        if self.obs.enabled:
+        if self._observing:
             self.obs.syscall("fsync", finish - now)
             self.obs.fs_cpu(self.costs.syscall_overhead)
         return SyscallResult(finish, finish - now, requests, len(dirty) * BLOCK_SIZE)
@@ -454,7 +459,7 @@ class Filesystem(abc.ABC):
             finish = submit.finish_time
         meta = self._commit_metadata(finish, tag="meta")
         finish = max(finish, meta.finish_time)
-        if self.obs.enabled:
+        if self._observing:
             self.obs.syscall("sync", finish - now)
         return SyscallResult(finish, finish - now, requests + meta.commands, 0)
 
@@ -498,7 +503,7 @@ class Filesystem(abc.ABC):
             raise InvalidArgument("fallocate length must be positive")
         inode = self.inode(handle.ino)
         self._check_lock(inode, handle.app)
-        if self.faults.enabled:
+        if self._faulting:
             now, _ = self._fault_syscall("fallocate", inode, offset, length, now)
         if mode is FallocMode.PUNCH_HOLE:
             self._punch_hole(inode, offset, length)
@@ -506,7 +511,7 @@ class Filesystem(abc.ABC):
             self._allocate_range(inode, offset, length)
         self._meta_dirty = True
         finish = now + self.costs.syscall_overhead
-        if self.obs.enabled:
+        if self._observing:
             self.obs.syscall("fallocate", finish - now)
             self.obs.fs_cpu(finish - now)
         return SyscallResult(finish, finish - now, 0, 0)
@@ -587,7 +592,7 @@ class Filesystem(abc.ABC):
         inode.size = size
         self._meta_dirty = True
         finish = now + self.costs.syscall_overhead
-        if self.obs.enabled:
+        if self._observing:
             self.obs.syscall("truncate", finish - now)
             self.obs.fs_cpu(finish - now)
         return SyscallResult(finish, finish - now, 0, 0)

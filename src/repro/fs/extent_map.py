@@ -4,28 +4,43 @@ The extent map is the source of truth both for request splitting (a
 syscall's byte range maps to as many disk ranges as it crosses extent
 pieces) and for FIEMAP-based fragmentation checking.  All offsets and
 lengths are byte values aligned to ``BLOCK_SIZE``.
+
+Hot-path layout: :class:`Extent` is a ``NamedTuple`` (constructed per
+split piece on every punch/insert) and interior alignment validation is
+gated behind the module-level :data:`DEBUG_CHECKS` flag — offsets and
+lengths are validated once at the syscall boundary, and the deep
+``check_invariants()`` pass backs the property tests.
 """
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 from ..constants import BLOCK_SIZE
 from ..errors import InvalidArgument
 
+#: Enable interior argument validation on every punch/insert.  Off by
+#: default: callers validate at the syscall boundary.  Property tests and
+#: debugging sessions flip this on.
+DEBUG_CHECKS = False
 
-@dataclass(frozen=True)
-class Extent:
+
+class Extent(NamedTuple):
     """One contiguous mapping: ``length`` bytes of file data at
-    ``file_offset`` living at device offset ``disk_offset``."""
+    ``file_offset`` living at device offset ``disk_offset``.
+
+    A ``NamedTuple`` rather than a dataclass: extents are re-created for
+    every split piece on the punch/insert hot path and the tuple
+    constructor is about twice as fast.  Use :meth:`validate` to check
+    alignment invariants explicitly.
+    """
 
     file_offset: int
     disk_offset: int
     length: int
 
-    def __post_init__(self) -> None:
+    def validate(self) -> "Extent":
         for value, name in (
             (self.file_offset, "file_offset"),
             (self.disk_offset, "disk_offset"),
@@ -37,6 +52,7 @@ class Extent:
             raise InvalidArgument("extent length must be positive")
         if self.file_offset < 0 or self.disk_offset < 0:
             raise InvalidArgument("extent offsets must be non-negative")
+        return self
 
     @property
     def file_end(self) -> int:
@@ -48,7 +64,7 @@ class Extent:
 
     def disk_at(self, file_offset: int) -> int:
         """Device offset backing ``file_offset`` (must lie inside)."""
-        if not (self.file_offset <= file_offset < self.file_end):
+        if not (self.file_offset <= file_offset < self.file_offset + self.length):
             raise InvalidArgument(f"{file_offset} outside {self}")
         return self.disk_offset + (file_offset - self.file_offset)
 
@@ -60,9 +76,18 @@ MappedPiece = Tuple[Optional[int], int]
 class ExtentMap:
     """Sorted, non-overlapping extents with hole support."""
 
+    __slots__ = ("_extents", "_starts", "_joints")
+
     def __init__(self) -> None:
         self._extents: List[Extent] = []
         self._starts: List[int] = []
+        #: count of consecutive extent pairs that are contiguous in both
+        #: file and disk space ("joints"); fragment_count is then O(1) as
+        #: ``len(extents) - joints``.  Only :meth:`punch` moves it —
+        #: :meth:`insert` cannot change it: a non-merged insertion has no
+        #: joints to its neighbours (they would have been merged), and a
+        #: merge absorbs exactly the joint it consumed.
+        self._joints = 0
 
     # -- queries ---------------------------------------------------------
 
@@ -83,24 +108,15 @@ class ExtentMap:
         """Number of physically discontiguous pieces (filefrag's count).
 
         Adjacent extents that are also adjacent on disk count as one
-        fragment, mirroring how filefrag reports merged extents.
+        fragment, mirroring how filefrag reports merged extents.  O(1):
+        the joint count is maintained incrementally by the mutators.
         """
-        count = 0
-        prev: Optional[Extent] = None
-        for extent in self._extents:
-            contiguous = (
-                prev is not None
-                and prev.file_end == extent.file_offset
-                and prev.disk_end == extent.disk_offset
-            )
-            if not contiguous:
-                count += 1
-            prev = extent
-        return count
+        count = len(self._extents)
+        return count - self._joints if count else 0
 
     def _index_for(self, file_offset: int) -> int:
         """Index of the first extent whose end is after ``file_offset``."""
-        idx = bisect.bisect_right(self._starts, file_offset) - 1
+        idx = bisect_right(self._starts, file_offset) - 1
         if idx >= 0 and self._extents[idx].file_end > file_offset:
             return idx
         return idx + 1
@@ -110,22 +126,26 @@ class ExtentMap:
         if length <= 0:
             return []
         pieces: List[MappedPiece] = []
+        append = pieces.append
         pos = offset
         end = offset + length
+        extents = self._extents
+        count = len(extents)
         idx = self._index_for(offset)
         while pos < end:
-            if idx >= len(self._extents):
-                pieces.append((None, end - pos))
+            if idx >= count:
+                append((None, end - pos))
                 break
-            extent = self._extents[idx]
-            if extent.file_offset > pos:
-                gap = min(extent.file_offset, end) - pos
-                pieces.append((None, gap))
-                pos += gap
+            file_offset, disk_offset, ext_len = extents[idx]
+            if file_offset > pos:
+                gap_end = file_offset if file_offset < end else end
+                append((None, gap_end - pos))
+                pos = gap_end
                 continue
-            take = min(extent.file_end, end) - pos
-            pieces.append((extent.disk_at(pos), take))
-            pos += take
+            file_end = file_offset + ext_len
+            take_end = file_end if file_end < end else end
+            append((disk_offset + (pos - file_offset), take_end - pos))
+            pos = take_end
             idx += 1
         return pieces
 
@@ -155,29 +175,67 @@ class ExtentMap:
         Extents straddling the boundary are split.  O(log n + k) for k
         affected extents.
         """
-        self._check_aligned(offset, length)
+        if DEBUG_CHECKS:
+            self._check_aligned(offset, length)
         if length <= 0:
             return []
         end = offset + length
+        extents = self._extents
+        count = len(extents)
         first = self._index_for(offset)
         removed: List[Extent] = []
         kept_edges: List[Extent] = []
         last = first
-        while last < len(self._extents) and self._extents[last].file_offset < end:
-            extent = self._extents[last]
-            cut_start = max(extent.file_offset, offset)
-            cut_end = min(extent.file_end, end)
-            if extent.file_offset < cut_start:
+        while last < count and extents[last].file_offset < end:
+            file_offset, disk_offset, ext_len = extents[last]
+            file_end = file_offset + ext_len
+            cut_start = file_offset if file_offset > offset else offset
+            cut_end = file_end if file_end < end else end
+            if file_offset < cut_start:
                 kept_edges.append(
-                    Extent(extent.file_offset, extent.disk_offset, cut_start - extent.file_offset)
+                    Extent(file_offset, disk_offset, cut_start - file_offset)
                 )
-            removed.append(Extent(cut_start, extent.disk_at(cut_start), cut_end - cut_start))
-            if cut_end < extent.file_end:
+            removed.append(
+                Extent(cut_start, disk_offset + (cut_start - file_offset),
+                       cut_end - cut_start)
+            )
+            if cut_end < file_end:
                 kept_edges.append(
-                    Extent(cut_end, extent.disk_at(cut_end), extent.file_end - cut_end)
+                    Extent(cut_end, disk_offset + (cut_end - file_offset),
+                           file_end - cut_end)
                 )
             last += 1
         if removed:
+            # Joint accounting: only pairs touching the replaced slice
+            # [first, last) can change.  Count them before and after.
+            old_joints = 0
+            for i in range(first if first > 0 else 1, last + 1 if last < count else last):
+                af, ad, al = extents[i - 1]
+                bf, bd, _ = extents[i]
+                if af + al == bf and ad + al == bd:
+                    old_joints += 1
+            prev_extent = extents[first - 1] if first > 0 else None
+            next_extent = extents[last] if last < count else None
+            new_joints = 0
+            if kept_edges:
+                # kept edges are separated by the punched hole, so only
+                # the two outer boundary pairs can possibly be joints
+                if prev_extent is not None:
+                    af, ad, al = prev_extent
+                    bf, bd, _ = kept_edges[0]
+                    if af + al == bf and ad + al == bd:
+                        new_joints += 1
+                if next_extent is not None:
+                    af, ad, al = kept_edges[-1]
+                    bf, bd, _ = next_extent
+                    if af + al == bf and ad + al == bd:
+                        new_joints += 1
+            elif prev_extent is not None and next_extent is not None:
+                af, ad, al = prev_extent
+                bf, bd, _ = next_extent
+                if af + al == bf and ad + al == bd:
+                    new_joints += 1
+            self._joints += new_joints - old_joints
             self._extents[first:last] = kept_edges
             self._starts[first:last] = [e.file_offset for e in kept_edges]
         return removed
@@ -189,30 +247,38 @@ class ExtentMap:
         this is how out-of-place filesystems retire old copies).  Merges
         with physically contiguous neighbours.
         """
+        if DEBUG_CHECKS:
+            extent.validate()
         displaced = self.punch(extent.file_offset, extent.length)
-        idx = bisect.bisect_left(self._starts, extent.file_offset)
+        extents = self._extents
+        starts = self._starts
+        file_offset, disk_offset, length = extent
+        idx = bisect_left(starts, file_offset)
         # coalesce with the previous neighbour
         if idx > 0:
-            prev = self._extents[idx - 1]
-            if prev.file_end == extent.file_offset and prev.disk_end == extent.disk_offset:
-                extent = Extent(prev.file_offset, prev.disk_offset, prev.length + extent.length)
+            prev_file, prev_disk, prev_len = extents[idx - 1]
+            if (prev_file + prev_len == file_offset
+                    and prev_disk + prev_len == disk_offset):
+                file_offset, disk_offset = prev_file, prev_disk
+                length += prev_len
                 idx -= 1
-                del self._extents[idx]
-                del self._starts[idx]
+                del extents[idx]
+                del starts[idx]
         # coalesce with the next neighbour
-        if idx < len(self._extents):
-            nxt = self._extents[idx]
-            if extent.file_end == nxt.file_offset and extent.disk_end == nxt.disk_offset:
-                extent = Extent(extent.file_offset, extent.disk_offset, extent.length + nxt.length)
-                del self._extents[idx]
-                del self._starts[idx]
-        self._extents.insert(idx, extent)
-        self._starts.insert(idx, extent.file_offset)
+        if idx < len(extents):
+            next_file, next_disk, next_len = extents[idx]
+            if (file_offset + length == next_file
+                    and disk_offset + length == next_disk):
+                length += next_len
+                del extents[idx]
+                del starts[idx]
+        extents.insert(idx, Extent(file_offset, disk_offset, length))
+        starts.insert(idx, file_offset)
         return displaced
 
     def preceding(self, file_offset: int) -> Optional[Extent]:
         """The last extent ending at or before ``file_offset`` (O(log n))."""
-        idx = bisect.bisect_right(self._starts, file_offset) - 1
+        idx = bisect_right(self._starts, file_offset) - 1
         if idx >= 0 and self._extents[idx].file_end <= file_offset:
             return self._extents[idx]
         idx -= 1
@@ -230,7 +296,16 @@ class ExtentMap:
     def check_invariants(self) -> None:
         """Raise AssertionError when internal invariants are violated."""
         prev_end = -1
+        joints = 0
+        prev_extent = None
         for extent in self._extents:
+            extent.validate()
             assert extent.file_offset >= prev_end, "extents overlap or unsorted"
+            if (prev_extent is not None
+                    and prev_extent.file_end == extent.file_offset
+                    and prev_extent.disk_end == extent.disk_offset):
+                joints += 1
             prev_end = extent.file_end
+            prev_extent = extent
         assert self._starts == [e.file_offset for e in self._extents]
+        assert joints == self._joints, "incremental joint count out of sync"

@@ -4,13 +4,20 @@ A sorted run list with first-fit / goal / best-effort-contiguous
 allocation.  Free-space fragmentation — the reason aged filesystems give
 new files discontiguous blocks — emerges naturally from churn, and the
 aging workload relies on it.
+
+Indexing: alongside the address-sorted ``(start, length)`` arrays the
+manager maintains a *size-bucketed* index — one address-sorted bucket per
+``length.bit_length()`` class — so ``alloc_contiguous`` resolves its
+first-fit-at-or-after-goal search with a handful of bisects instead of a
+linear scan over every run.  ``free_bytes`` is a running counter and
+``stats()``/``runs()`` are cached until the next mutation.
 """
 
 from __future__ import annotations
 
-import bisect
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..constants import BLOCK_SIZE
 from ..errors import InvalidArgument, NoSpaceError
@@ -28,6 +35,11 @@ class FreeSpaceStats:
 class FreeSpaceManager:
     """Sorted list of free runs over ``[region_start, region_end)``."""
 
+    __slots__ = (
+        "region_start", "region_end", "_starts", "_lengths",
+        "_free_bytes", "_buckets", "_runs_cache", "_stats_cache",
+    )
+
     def __init__(self, region_start: int, region_end: int) -> None:
         if region_start % BLOCK_SIZE or region_end % BLOCK_SIZE:
             raise InvalidArgument("region bounds must be block aligned")
@@ -37,25 +49,41 @@ class FreeSpaceManager:
         self.region_end = region_end
         self._starts: List[int] = [region_start]
         self._lengths: List[int] = [region_end - region_start]
+        self._free_bytes = region_end - region_start
+        #: size index: length.bit_length() -> address-sorted (start, length)
+        self._buckets: Dict[int, List[Run]] = {}
+        self._runs_cache: Optional[Tuple[Run, ...]] = None
+        self._stats_cache: Optional[FreeSpaceStats] = None
+        self._bucket_add(region_start, region_end - region_start)
 
     # -- queries ---------------------------------------------------------
 
     @property
     def free_bytes(self) -> int:
-        return sum(self._lengths)
+        return self._free_bytes
 
-    def runs(self) -> List[Run]:
-        return list(zip(self._starts, self._lengths))
+    def runs(self) -> Tuple[Run, ...]:
+        """All free runs in address order (cached; immutable tuple)."""
+        cached = self._runs_cache
+        if cached is None:
+            cached = self._runs_cache = tuple(zip(self._starts, self._lengths))
+        return cached
 
     def stats(self) -> FreeSpaceStats:
-        return FreeSpaceStats(
-            free_bytes=self.free_bytes,
-            run_count=len(self._starts),
-            largest_run=max(self._lengths, default=0),
-        )
+        cached = self._stats_cache
+        if cached is None:
+            cached = self._stats_cache = FreeSpaceStats(
+                free_bytes=self._free_bytes,
+                run_count=len(self._starts),
+                largest_run=self.largest_run(),
+            )
+        return cached
 
     def largest_run(self) -> int:
-        return max(self._lengths, default=0)
+        buckets = self._buckets
+        if not buckets:
+            return 0
+        return max(length for _, length in buckets[max(buckets)])
 
     # -- allocation ------------------------------------------------------
 
@@ -67,30 +95,49 @@ class FreeSpaceManager:
         :class:`NoSpaceError` when no single run is large enough.
         """
         self._check(length)
-        order = self._search_order(goal)
-        for position, idx in enumerate(order):
-            start, run_len = self._starts[idx], self._lengths[idx]
-            if (
-                position == 0
-                and goal is not None
-                and start < goal < start + run_len
-            ):
-                # the goal sits inside this run: honour it exactly
-                if start + run_len - goal >= length:
-                    self.alloc_at(goal, length)
-                    return goal
-                # tail too small; the run stays eligible from its start
-                # when the search wraps back around
-                if run_len >= length and len(order) == 1:
-                    return self._take(idx, length)
-                continue
-            if run_len >= length:
-                return self._take(idx, length)
-        # wrap-around retry for the pivot run we skipped above
-        if goal is not None and order:
-            idx = order[0]
-            if idx < len(self._lengths) and self._lengths[idx] >= length:
-                return self._take(idx, length)
+        return self._alloc_contiguous(length, goal)
+
+    def _alloc_contiguous(self, length: int, goal: Optional[int]) -> int:
+        starts = self._starts
+        count = len(starts)
+        if goal is not None and count:
+            lengths = self._lengths
+            pivot = bisect_left(starts, goal)
+            if pivot > 0 and starts[pivot - 1] + lengths[pivot - 1] > goal:
+                pivot -= 1  # goal falls inside the previous run
+            if pivot < count:
+                pivot_start = starts[pivot]
+                pivot_len = lengths[pivot]
+                if pivot_start < goal < pivot_start + pivot_len:
+                    # the goal sits inside this run: honour it exactly
+                    if pivot_start + pivot_len - goal >= length:
+                        self._alloc_at(goal, length)
+                        return goal
+                    # tail too small; the run stays eligible from its
+                    # start when the search wraps back around
+                    if pivot_len >= length and count == 1:
+                        return self._take(pivot, length)
+                    found = self._first_fit(length, pivot_start + 1, self.region_end)
+                    if found < 0:
+                        found = self._first_fit(length, 0, pivot_start)
+                    if found >= 0:
+                        return self._take(bisect_left(starts, found), length)
+                    # wrap-around retry for the pivot run we skipped above
+                    if pivot_len >= length:
+                        return self._take(pivot, length)
+                else:
+                    found = self._first_fit(length, pivot_start, self.region_end)
+                    if found < 0:
+                        found = self._first_fit(length, 0, pivot_start)
+                    if found >= 0:
+                        return self._take(bisect_left(starts, found), length)
+                raise NoSpaceError(
+                    f"no contiguous run of {length} bytes "
+                    f"(largest {self.largest_run()})"
+                )
+        found = self._first_fit(length, 0, self.region_end)
+        if found >= 0:
+            return self._take(bisect_left(starts, found), length)
         raise NoSpaceError(
             f"no contiguous run of {length} bytes (largest {self.largest_run()})"
         )
@@ -104,19 +151,20 @@ class FreeSpaceManager:
         fragmented file whose pieces are hole-sized.
         """
         self._check(length)
-        if self.free_bytes < length:
-            raise NoSpaceError(f"only {self.free_bytes} bytes free, need {length}")
+        if self._free_bytes < length:
+            raise NoSpaceError(f"only {self._free_bytes} bytes free, need {length}")
         try:
-            start = self.alloc_contiguous(length, goal)
+            start = self._alloc_contiguous(length, goal)
             return [(start, length)]
         except NoSpaceError:
             pass
         pieces: List[Run] = []
         remaining = length
         pivot = goal if goal is not None else self.region_start
+        starts = self._starts
         while remaining > 0:
-            idx = bisect.bisect_left(self._starts, pivot)
-            if idx >= len(self._starts):
+            idx = bisect_left(starts, pivot)
+            if idx >= len(starts):
                 idx = 0  # wrap around
             take = min(self._lengths[idx], remaining)
             start = self._take(idx, take)
@@ -132,20 +180,39 @@ class FreeSpaceManager:
         Raises :class:`NoSpaceError` if any part is already allocated.
         """
         self._check(length)
-        idx = bisect.bisect_right(self._starts, start) - 1
+        self._alloc_at(start, length)
+
+    def _alloc_at(self, start: int, length: int) -> None:
+        starts = self._starts
+        lengths = self._lengths
+        idx = bisect_right(starts, start) - 1
         if idx < 0:
             raise NoSpaceError(f"range at {start} not free")
-        run_start, run_len = self._starts[idx], self._lengths[idx]
+        run_start, run_len = starts[idx], lengths[idx]
         if start < run_start or start + length > run_start + run_len:
             raise NoSpaceError(f"range [{start}, {start + length}) not free")
         # split the run around the claimed range
-        del self._starts[idx]
-        del self._lengths[idx]
-        if start > run_start:
-            self._insert_run(run_start, start - run_start)
+        self._bucket_remove(run_start, run_len)
+        head = start - run_start
         tail = (run_start + run_len) - (start + length)
-        if tail > 0:
-            self._insert_run(start + length, tail)
+        if head > 0 and tail > 0:
+            lengths[idx] = head
+            starts.insert(idx + 1, start + length)
+            lengths.insert(idx + 1, tail)
+            self._bucket_add(run_start, head)
+            self._bucket_add(start + length, tail)
+        elif head > 0:
+            lengths[idx] = head
+            self._bucket_add(run_start, head)
+        elif tail > 0:
+            starts[idx] = start + length
+            lengths[idx] = tail
+            self._bucket_add(start + length, tail)
+        else:
+            del starts[idx]
+            del lengths[idx]
+        self._free_bytes -= length
+        self._runs_cache = self._stats_cache = None
 
     # -- release ---------------------------------------------------------
 
@@ -154,51 +221,101 @@ class FreeSpaceManager:
         self._check(length)
         if start < self.region_start or start + length > self.region_end:
             raise InvalidArgument(f"free outside region: [{start}, {start + length})")
-        idx = bisect.bisect_left(self._starts, start)
-        # guard against double free / overlap
+        starts = self._starts
+        lengths = self._lengths
+        idx = bisect_left(starts, start)
+        # guard against double free / overlap (always on: a state
+        # corruption check, not argument validation)
         if idx > 0:
-            prev_end = self._starts[idx - 1] + self._lengths[idx - 1]
+            prev_end = starts[idx - 1] + lengths[idx - 1]
             if prev_end > start:
                 raise InvalidArgument(f"double free at {start}")
-        if idx < len(self._starts) and start + length > self._starts[idx]:
+        if idx < len(starts) and start + length > starts[idx]:
             raise InvalidArgument(f"double free at {start}")
-        self._starts.insert(idx, start)
-        self._lengths.insert(idx, length)
+        new_start, new_len = start, length
         # coalesce with next
-        if idx + 1 < len(self._starts) and start + length == self._starts[idx + 1]:
-            self._lengths[idx] += self._lengths[idx + 1]
-            del self._starts[idx + 1]
-            del self._lengths[idx + 1]
+        if idx < len(starts) and start + length == starts[idx]:
+            self._bucket_remove(starts[idx], lengths[idx])
+            new_len += lengths[idx]
+            del starts[idx]
+            del lengths[idx]
         # coalesce with previous
-        if idx > 0 and self._starts[idx - 1] + self._lengths[idx - 1] == start:
-            self._lengths[idx - 1] += self._lengths[idx]
-            del self._starts[idx]
-            del self._lengths[idx]
+        if idx > 0 and starts[idx - 1] + lengths[idx - 1] == start:
+            idx -= 1
+            self._bucket_remove(starts[idx], lengths[idx])
+            new_start = starts[idx]
+            new_len += lengths[idx]
+            starts[idx] = new_start
+            lengths[idx] = new_len
+        else:
+            starts.insert(idx, new_start)
+            lengths.insert(idx, new_len)
+        self._bucket_add(new_start, new_len)
+        self._free_bytes += length
+        self._runs_cache = self._stats_cache = None
 
     # -- internals -------------------------------------------------------
 
     def _take(self, idx: int, length: int) -> int:
         start = self._starts[idx]
-        if self._lengths[idx] == length:
+        run_len = self._lengths[idx]
+        self._bucket_remove(start, run_len)
+        if run_len == length:
             del self._starts[idx]
             del self._lengths[idx]
         else:
-            self._starts[idx] += length
-            self._lengths[idx] -= length
+            self._starts[idx] = start + length
+            self._lengths[idx] = run_len - length
+            self._bucket_add(start + length, run_len - length)
+        self._free_bytes -= length
+        self._runs_cache = self._stats_cache = None
         return start
 
-    def _insert_run(self, start: int, length: int) -> None:
-        idx = bisect.bisect_left(self._starts, start)
-        self._starts.insert(idx, start)
-        self._lengths.insert(idx, length)
+    def _bucket_add(self, start: int, length: int) -> None:
+        key = length.bit_length()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [(start, length)]
+        else:
+            insort(bucket, (start, length))
 
-    def _search_order(self, goal: Optional[int]) -> List[int]:
-        if goal is None:
-            return list(range(len(self._starts)))
-        pivot = bisect.bisect_left(self._starts, goal)
-        if pivot > 0 and self._starts[pivot - 1] + self._lengths[pivot - 1] > goal:
-            pivot -= 1  # goal falls inside the previous run
-        return list(range(pivot, len(self._starts))) + list(range(pivot))
+    def _bucket_remove(self, start: int, length: int) -> None:
+        key = length.bit_length()
+        bucket = self._buckets[key]
+        if len(bucket) == 1:
+            del self._buckets[key]
+        else:
+            del bucket[bisect_left(bucket, (start, length))]
+
+    def _first_fit(self, length: int, lo_addr: int, hi_addr: int) -> int:
+        """Start of the lowest-addressed free run with ``start`` in
+        ``[lo_addr, hi_addr)`` and ``run length >= length``; -1 if none.
+
+        Runs whose ``bit_length`` class exceeds the request's always fit,
+        so each such bucket costs one bisect; only the request's own size
+        class needs per-entry length filtering.
+        """
+        want = length.bit_length()
+        best = -1
+        probe = (lo_addr, 0)
+        for key, bucket in self._buckets.items():
+            if key < want:
+                continue
+            i = bisect_left(bucket, probe)
+            if key == want:
+                while i < len(bucket):
+                    run_start, run_len = bucket[i]
+                    if run_start >= hi_addr or (best >= 0 and run_start >= best):
+                        break
+                    if run_len >= length:
+                        best = run_start
+                        break
+                    i += 1
+            elif i < len(bucket):
+                run_start = bucket[i][0]
+                if run_start < hi_addr and (best < 0 or run_start < best):
+                    best = run_start
+        return best
 
     @staticmethod
     def _check(length: int) -> None:
@@ -208,6 +325,7 @@ class FreeSpaceManager:
     def check_invariants(self) -> None:
         """Raise AssertionError on violated internal invariants."""
         prev_end = None
+        total = 0
         for start, length in zip(self._starts, self._lengths):
             assert length > 0
             assert start >= self.region_start
@@ -215,3 +333,16 @@ class FreeSpaceManager:
             if prev_end is not None:
                 assert start > prev_end, "runs not coalesced or overlapping"
             prev_end = start + length
+            total += length
+        assert total == self._free_bytes, "free-byte counter out of sync"
+        indexed = sorted(
+            run for bucket in self._buckets.values() for run in bucket
+        )
+        assert indexed == sorted(
+            zip(self._starts, self._lengths)
+        ), "size buckets out of sync with run list"
+        for key, bucket in self._buckets.items():
+            assert bucket, "empty bucket left behind"
+            assert bucket == sorted(bucket), "bucket not address sorted"
+            for _, length in bucket:
+                assert length.bit_length() == key, "run in wrong size bucket"

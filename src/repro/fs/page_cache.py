@@ -4,13 +4,17 @@ Buffered reads fill it, buffered writes dirty it, fsync/writeback cleans
 it.  O_DIRECT bypasses it entirely (as in Linux).  Capacity is configurable
 so experiments can model memory pressure; eviction of a dirty page reports
 it to the caller for writeback.
+
+Residency and dirtiness are indexed per inode so ``dirty_pages`` and
+``invalidate_inode`` touch only that inode's pages instead of scanning
+the whole cache; the LRU itself is an ``OrderedDict`` (O(1) hit/refresh).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 PageKey = Tuple[int, int]  # (ino, page index)
 
@@ -27,12 +31,16 @@ class PageCacheStats:
 
 
 class PageCache:
-    """LRU over (inode, page) keys with a dirty set."""
+    """LRU over (inode, page) keys with a per-inode dirty index."""
 
     def __init__(self, capacity_pages: int = 1 << 20) -> None:
         self.capacity_pages = capacity_pages
         self._lru: "OrderedDict[PageKey, None]" = OrderedDict()
-        self._dirty: Set[PageKey] = set()
+        #: resident page indices per inode (invalidate without a full scan)
+        self._by_ino: Dict[int, Set[int]] = {}
+        #: dirty page indices per inode (dirty pages are always resident)
+        self._dirty_by_ino: Dict[int, Set[int]] = {}
+        self._dirty_total = 0
         self.stats = PageCacheStats()
 
     def __contains__(self, key: PageKey) -> bool:
@@ -56,46 +64,94 @@ class PageCache:
 
     def fill(self, keys: Iterable[PageKey]) -> List[PageKey]:
         """Insert clean pages; returns dirty pages evicted to make room."""
+        lru = self._lru
+        by_ino = self._by_ino
         writeback: List[PageKey] = []
         for key in keys:
-            self._lru[key] = None
-            self._lru.move_to_end(key)
-        while len(self._lru) > self.capacity_pages:
-            victim, _ = self._lru.popitem(last=False)
-            if victim in self._dirty:
-                self._dirty.discard(victim)
+            if key in lru:
+                lru.move_to_end(key)
+            else:
+                lru[key] = None
+                ino, page = key
+                resident = by_ino.get(ino)
+                if resident is None:
+                    resident = by_ino[ino] = set()
+                resident.add(page)
+        capacity = self.capacity_pages
+        while len(lru) > capacity:
+            victim, _ = lru.popitem(last=False)
+            ino, page = victim
+            self._forget_resident(ino, page)
+            dirty = self._dirty_by_ino.get(ino)
+            if dirty is not None and page in dirty:
+                dirty.discard(page)
+                if not dirty:
+                    del self._dirty_by_ino[ino]
+                self._dirty_total -= 1
                 writeback.append(victim)
         return writeback
 
     def mark_dirty(self, keys: Iterable[PageKey]) -> List[PageKey]:
         """Insert/refresh pages as dirty; returns evicted dirty pages."""
         keys = list(keys)
-        self._dirty.update(keys)
+        dirty_by_ino = self._dirty_by_ino
+        for ino, page in keys:
+            dirty = dirty_by_ino.get(ino)
+            if dirty is None:
+                dirty = dirty_by_ino[ino] = set()
+            if page not in dirty:
+                dirty.add(page)
+                self._dirty_total += 1
         return self.fill(keys)
 
     # -- writeback -------------------------------------------------------
 
     def dirty_pages(self, ino: int) -> List[int]:
         """Sorted dirty page indices of one inode."""
-        return sorted(page for (i, page) in self._dirty if i == ino)
+        return sorted(self._dirty_by_ino.get(ino, ()))
 
     def clean(self, ino: int, pages: Iterable[int]) -> None:
+        dirty = self._dirty_by_ino.get(ino)
+        if dirty is None:
+            return
         for page in pages:
-            self._dirty.discard((ino, page))
+            if page in dirty:
+                dirty.discard(page)
+                self._dirty_total -= 1
+        if not dirty:
+            del self._dirty_by_ino[ino]
 
     def invalidate_inode(self, ino: int) -> None:
         """Drop every page of an inode (unlink / O_DIRECT coherence)."""
-        doomed = [key for key in self._lru if key[0] == ino]
-        for key in doomed:
-            del self._lru[key]
-            self._dirty.discard(key)
+        resident = self._by_ino.pop(ino, None)
+        if resident:
+            lru = self._lru
+            for page in resident:
+                del lru[(ino, page)]
+        dirty = self._dirty_by_ino.pop(ino, None)
+        if dirty:
+            self._dirty_total -= len(dirty)
 
     def dirty_count(self) -> int:
-        return len(self._dirty)
+        return self._dirty_total
 
     def drop_clean(self) -> int:
         """Evict every clean page (``drop_caches``); returns count dropped."""
-        doomed = [key for key in self._lru if key not in self._dirty]
+        dirty_by_ino = self._dirty_by_ino
+        doomed = [
+            (ino, page)
+            for ino, page in self._lru
+            if page not in dirty_by_ino.get(ino, ())
+        ]
+        lru = self._lru
         for key in doomed:
-            del self._lru[key]
+            del lru[key]
+            self._forget_resident(key[0], key[1])
         return len(doomed)
+
+    def _forget_resident(self, ino: int, page: int) -> None:
+        resident = self._by_ino.get(ino)
+        if resident is not None:
+            resident.discard(page)
+            if not resident:
+                del self._by_ino[ino]

@@ -11,12 +11,19 @@ def test_end():
 
 
 def test_rejects_bad_lengths():
+    # validation is explicit: ranges are checked once at the syscall
+    # boundary, not in the per-command hot-path constructor
     with pytest.raises(InvalidArgument):
-        IoCommand(IoOp.READ, 0, 0)
+        IoCommand(IoOp.READ, 0, 0).validate()
     with pytest.raises(InvalidArgument):
-        IoCommand(IoOp.READ, 0, -5)
+        IoCommand(IoOp.READ, 0, -5).validate()
     with pytest.raises(InvalidArgument):
-        IoCommand(IoOp.READ, -1, 5)
+        IoCommand(IoOp.READ, -1, 5).validate()
+
+
+def test_validate_passthrough():
+    cmd = IoCommand(IoOp.READ, 0, 10)
+    assert cmd.validate() is cmd
 
 
 def test_retagged():

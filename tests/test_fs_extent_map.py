@@ -9,12 +9,23 @@ from repro.fs import Extent, ExtentMap
 
 
 def test_extent_alignment_enforced():
+    # validation is explicit (hot-path extents skip it); insert() applies
+    # it when repro.fs.extent_map.DEBUG_CHECKS is on
     with pytest.raises(InvalidArgument):
-        Extent(1, 0, B)
+        Extent(1, 0, B).validate()
     with pytest.raises(InvalidArgument):
-        Extent(0, 0, B + 1)
+        Extent(0, 0, B + 1).validate()
     with pytest.raises(InvalidArgument):
-        Extent(0, 0, 0)
+        Extent(0, 0, 0).validate()
+
+
+def test_insert_validates_in_debug_mode(monkeypatch):
+    from repro.fs import extent_map as extent_map_mod
+
+    monkeypatch.setattr(extent_map_mod, "DEBUG_CHECKS", True)
+    m = ExtentMap()
+    with pytest.raises(InvalidArgument):
+        m.insert(Extent(1, 0, B))
 
 
 def test_disk_at():
@@ -77,7 +88,10 @@ def test_punch_middle_splits():
     assert m.holes(0, 10 * B) == [(4 * B, 2 * B)]
 
 
-def test_punch_unaligned_rejected():
+def test_punch_unaligned_rejected(monkeypatch):
+    from repro.fs import extent_map as extent_map_mod
+
+    monkeypatch.setattr(extent_map_mod, "DEBUG_CHECKS", True)
     m = ExtentMap()
     with pytest.raises(InvalidArgument):
         m.punch(1, B)
