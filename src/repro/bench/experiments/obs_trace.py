@@ -28,9 +28,16 @@ from ...device import make_device
 from ...fs import make_filesystem
 from ...obs import hooks as obs_hooks
 from ...obs.analysis import attribute
+from ...obs.critical_path import (
+    CriticalPath,
+    critical_path,
+    flamegraph,
+    flow_events,
+)
 from ...obs.export import chrome_trace, histogram_table, metrics_table
 from ...obs.hooks import Instrumentation
 from ...obs.metrics import Histogram
+from ...obs.provenance import ProvenanceForest, build_forest
 from ...obs.sampler import FragmentationSampler
 from ...stats.tables import format_table
 from ...workloads.aging import age_filesystem
@@ -49,18 +56,43 @@ class ObsTraceResult:
     fanout_after: Optional[Histogram] = None
     defrag: Optional[DefragReport] = None
     sampler: Optional[FragmentationSampler] = None
+    _forest: Optional[ProvenanceForest] = None
 
     def trace(self) -> Dict[str, object]:
         """Chrome trace_event document (load in chrome://tracing/Perfetto).
 
-        Includes the fragmentation-timeline counter curves and the raw
-        ``fragTimeline`` samples when a sampler ran.
+        Includes the fragmentation-timeline counter curves, the raw
+        ``fragTimeline`` samples when a sampler ran, and — when causal
+        tracing was armed — per-syscall/per-command provenance tracks
+        with flow arrows linking each syscall to its tail command.
         """
-        return chrome_trace(self.obs.spans, self.obs.registry, sampler=self.sampler)
+        extra = None
+        if self.obs.provenance is not None:
+            extra = flow_events(self.forest())
+        return chrome_trace(
+            self.obs.spans, self.obs.registry,
+            sampler=self.sampler, extra_events=extra,
+        )
 
     def attribution(self):
         """Latency attribution over the whole run (sum-to-total checked)."""
         return attribute(self.obs.registry)
+
+    # -- provenance views (armed runs only) ----------------------------
+
+    def forest(self) -> ProvenanceForest:
+        """Per-syscall command trees reconstructed from the event ring."""
+        if self._forest is None:
+            self._forest = build_forest(self.obs.spans)
+        return self._forest
+
+    def critical_path(self) -> CriticalPath:
+        """The run's wall-clock decomposed along the critical path."""
+        return critical_path(self.forest(), self.obs.spans)
+
+    def flamegraph(self) -> str:
+        """Collapsed-stack profile (flamegraph.pl / speedscope input)."""
+        return flamegraph(self.forest(), self.obs.spans)
 
     def top_latency_histograms(self, count: int = 5) -> List[Histogram]:
         """Busiest latency histograms (by sample count)."""
@@ -93,6 +125,19 @@ class ObsTraceResult:
                 f"frag timeline: {self.sampler.samples_taken} samples, "
                 f"contiguity {contiguity.values[0]:.3f} -> {contiguity.last:.3f}"
             )
+        if self.obs.provenance is not None:
+            forest = self.forest()
+            summary = forest.summary()
+            parts.append(
+                f"provenance: {summary['syscalls']} syscalls traced, "
+                f"{summary['layer_crossing']} crossed to the device, "
+                f"{summary['commands']} commands, "
+                f"max fan-out {summary['max_fanout']} "
+                f"({summary['orphan_edges']} orphan edges, "
+                f"{summary['events_dropped']} ring drops)"
+            )
+            parts.append(forest.table())
+            parts.append(self.critical_path().table())
         parts.append(metrics_table(self.obs.registry))
         return "\n\n".join(parts)
 
@@ -109,10 +154,11 @@ class ObsTraceResult:
 
 
 def _build_state(
-    capacity: int, record_count: int, value_size: int, seed: int
+    capacity: int, record_count: int, value_size: int, seed: int,
+    device_name: str = "optane",
 ) -> Tuple:
     """Fig. 10's aged-filesystem + loaded-database setup, scaled down."""
-    device = make_device("optane", capacity=capacity)
+    device = make_device(device_name, capacity=capacity)
     fs = make_filesystem("ext4", device, metadata_region=16 * MIB)
     age_filesystem(fs, fill_fraction=0.997, delete_fraction=0.35,
                    min_file=8 * KIB, max_file=48 * KIB, seed=seed)
@@ -140,6 +186,7 @@ def run(
     hotness: float = 0.5,
     seed: int = 42,
     obs: Optional[Instrumentation] = None,
+    device: str = "optane",
 ) -> ObsTraceResult:
     """Run the instrumented protocol; returns spans + metrics + fan-out."""
     if smoke:
@@ -149,9 +196,15 @@ def run(
     if obs is None:
         obs = Instrumentation()
     with obs_hooks.use(obs):
+        if obs.provenance is not None:
+            # don't flood the ring with setup traffic: aging + db load
+            # mint no pids; tracing arms at the first measured phase
+            obs.provenance.suspend()
         fs, store, workload, now = _build_state(
-            capacity, record_count, value_size, seed
+            capacity, record_count, value_size, seed, device
         )
+        if obs.provenance is not None:
+            obs.provenance.resume()
         result = ObsTraceResult(obs=obs)
         fanout = obs.registry.histogram("block.split_fanout")
         # fragmentation timeline over the database tables; activity-driven,

@@ -38,6 +38,9 @@ class VariantResult:
     #: latency-attribution breakdown over the same window
     #: (``repro.obs.analysis.Attribution.to_dict()``; None when disabled)
     attribution: Optional[Dict[str, object]] = None
+    #: provenance-forest summary (``ProvenanceForest.summary()``; None
+    #: unless causal tracing was armed via ``Instrumentation(provenance=True)``)
+    provenance: Optional[Dict[str, object]] = None
 
     def attach_metrics(self, since: Optional[Dict[str, object]] = None) -> "VariantResult":
         """Capture the active registry (windowed against ``since``) plus
@@ -47,6 +50,9 @@ class VariantResult:
             return self
         self.metrics = obs_analysis.delta_metrics(obs.registry, since)
         self.attribution = obs_analysis.attribute(self.metrics).to_dict()
+        if obs.provenance is not None:
+            from ..obs.provenance import build_forest  # late: avoid cycles
+            self.provenance = build_forest(obs.spans).summary()
         return self
 
     def attribution_table(self) -> str:
@@ -72,6 +78,8 @@ class VariantResult:
             doc["split_fanout"] = self.fanout_summary()
         if self.attribution is not None:
             doc["attribution"] = self.attribution
+        if self.provenance is not None:
+            doc["provenance"] = self.provenance
         return doc
 
 

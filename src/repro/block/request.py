@@ -35,12 +35,18 @@ class IoCommand(NamedTuple):
         length: bytes, > 0.
         tag: origin label used by the tracer to attribute traffic
             (e.g. ``"workload"`` vs ``"defrag"``).
+        pid: provenance id of the originating syscall, 0 when causal
+            tracing is disarmed or the command has no syscall origin
+            (GC, fstrim).  Minted by the fs layer only when an armed
+            :class:`~repro.obs.hooks.Instrumentation` is installed; the
+            device layer keys per-command completion edges on it.
     """
 
     op: IoOp
     offset: int
     length: int
     tag: str = ""
+    pid: int = 0
 
     @property
     def end(self) -> int:
@@ -54,4 +60,4 @@ class IoCommand(NamedTuple):
         return self
 
     def retagged(self, tag: str) -> "IoCommand":
-        return IoCommand(self.op, self.offset, self.length, tag)
+        return IoCommand(self.op, self.offset, self.length, tag, self.pid)

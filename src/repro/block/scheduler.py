@@ -49,6 +49,9 @@ class BlockScheduler:
         # facade dispatch entirely
         self._observing = self.obs.enabled
         self._faulting = self.faults.enabled
+        # causal tracing armed (obs enabled AND a provenance recorder
+        # installed); only ever consulted inside the _observing branch
+        self._tracing = self._observing and self.obs.provenance is not None
         self.requests_submitted = 0
         self.kernel_time_total = 0.0
         #: shared kernel-CPU timeline: request construction serializes
@@ -103,6 +106,11 @@ class BlockScheduler:
                 queue_wait=cpu_start - now,
                 base_cpu=self.kernel_overhead_per_request,
             )
+            if self._tracing and commands[0].pid:
+                # causal edge: syscall -> this batch's kernel-CPU window
+                self.obs.provenance.submit(
+                    commands[0].pid, len(commands), now, cpu_start, cpu_done
+                )
         latency = batch.finish_time - now
         return SubmitResult(
             finish_time=batch.finish_time,

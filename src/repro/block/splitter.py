@@ -46,12 +46,17 @@ def split_ranges(
     ranges: Sequence[DiskRange],
     tag: str = "",
     max_request_size: int = MAX_REQUEST_SIZE,
+    pid: int = 0,
 ) -> List[IoCommand]:
     """Build the command list for one system call.
 
     Returns one command per contiguous LBA run, each at most
     ``max_request_size`` bytes.  ``len(result)`` is the paper's
     "number of I/O requests" for the syscall.
+
+    ``pid`` is the originating syscall's provenance id (0 = untracked);
+    every emitted command carries it so device completions can be tied
+    back to the syscall that caused them.
 
     Merging and capping happen in a single pass — this runs once per
     syscall with one entry per extent piece, so no intermediate merged
@@ -75,16 +80,16 @@ def split_ranges(
             continue
         if cur_length:
             while cur_length > max_request_size:
-                append(new(IoCommand, (op, cur_offset, max_request_size, tag)))
+                append(new(IoCommand, (op, cur_offset, max_request_size, tag, pid)))
                 cur_offset += max_request_size
                 cur_length -= max_request_size
-            append(new(IoCommand, (op, cur_offset, cur_length, tag)))
+            append(new(IoCommand, (op, cur_offset, cur_length, tag, pid)))
         cur_offset = offset
         cur_length = length
     if cur_length:
         while cur_length > max_request_size:
-            append(new(IoCommand, (op, cur_offset, max_request_size, tag)))
+            append(new(IoCommand, (op, cur_offset, max_request_size, tag, pid)))
             cur_offset += max_request_size
             cur_length -= max_request_size
-        append(new(IoCommand, (op, cur_offset, cur_length, tag)))
+        append(new(IoCommand, (op, cur_offset, cur_length, tag, pid)))
     return commands

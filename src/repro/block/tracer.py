@@ -90,10 +90,13 @@ class BlockTracer:
             if keep_log:
                 self.log.append(command)
             if emit:
+                # pid ties the raw command back to its syscall's
+                # provenance tree (0 = untracked)
                 self.obs.event(
                     "block.cmd", now, track="block",
                     op=command.op.value, offset=command.offset,
                     length=command.length, tag=command.tag,
+                    pid=command.pid,
                 )
 
     def tag(self, name: str) -> TrafficCounter:

@@ -8,6 +8,10 @@ Usage::
     python -m repro run all
     python -m repro obs --out trace.json     # instrumented Fig. 10 run
     python -m repro obs --smoke              # fast CI smoke variant
+    python -m repro obs --smoke --critical-path   # + wall-clock decomposition
+    python -m repro trace --smoke            # causal provenance run:
+                                             # syscall->cmd trees, critical
+                                             # path, flamegraph, flow trace
     python -m repro bench --smoke --json BENCH_ci.json   # persist a suite run
     python -m repro bench --compare BENCH_base.json BENCH_ci.json
     python -m repro faults --smoke           # crash sweep + fault campaign
@@ -143,6 +147,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="Chrome trace_event output path ('' to skip)")
     observer.add_argument("--metrics-json", default=None,
                           help="also dump the metrics registry as JSON here")
+    observer.add_argument("--critical-path", action="store_true",
+                          help="arm causal tracing and print the run's "
+                               "critical-path decomposition")
+    trace = sub.add_parser(
+        "trace",
+        help="causal provenance run: per-syscall command trees, critical "
+             "path, flamegraph, and a Chrome trace with flow arrows",
+    )
+    trace.add_argument("--smoke", action="store_true",
+                       help="small/fast variant (CI smoke test)")
+    trace.add_argument("--top", type=int, default=10, metavar="N",
+                       help="slowest-syscall table depth (default 10)")
+    trace.add_argument("--device", default="optane",
+                       choices=["hdd", "microsd", "flash", "optane"],
+                       help="device model under the aged fs (default optane)")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace_event output path ('' to skip)")
+    trace.add_argument("--flame", default="flame.txt", metavar="PATH",
+                       help="collapsed-stack flamegraph output ('' to skip)")
+    trace.add_argument("--json", default=None, metavar="PATH",
+                       help="also dump forest summary + critical path as JSON")
+    trace.add_argument("--max-events", type=int, default=262144,
+                       help="event-ring capacity for the armed run "
+                            "(default 262144; wraps drop oldest edges)")
     bench = sub.add_parser(
         "bench",
         help="instrumented benchmark suite: persist BENCH_*.json, compare runs",
@@ -220,8 +248,10 @@ def _run_obs(args) -> int:
 
     from .bench.experiments import obs_trace
     from .obs.export import metrics_json
+    from .obs.hooks import Instrumentation
 
-    result = obs_trace.run(smoke=args.smoke)
+    obs = Instrumentation(provenance=True) if args.critical_path else None
+    result = obs_trace.run(smoke=args.smoke, obs=obs)
     print(result.report())
     if args.out:
         with open(args.out, "w") as fh:
@@ -232,6 +262,52 @@ def _run_obs(args) -> int:
         with open(args.metrics_json, "w") as fh:
             fh.write(metrics_json(result.obs.registry))
         print(f"wrote metrics JSON to {args.metrics_json}")
+    if args.critical_path and not result.critical_path().check():
+        print("critical-path check FAILED (segments do not sum to wall-clock)")
+        return 1
+    return 0
+
+
+def _run_trace(args) -> int:
+    import json
+
+    from .bench.experiments import obs_trace
+    from .obs.critical_path import write_flamegraph
+    from .obs.hooks import Instrumentation
+
+    obs = Instrumentation(provenance=True, max_events=args.max_events)
+    result = obs_trace.run(smoke=args.smoke, obs=obs, device=args.device)
+    forest = result.forest()
+    summary = forest.summary()
+    path = result.critical_path()
+    print(f"provenance: {summary['syscalls']} syscalls traced, "
+          f"{summary['layer_crossing']} crossed fs -> block -> device, "
+          f"{summary['commands']} device commands, "
+          f"max fan-out {summary['max_fanout']} "
+          f"({summary['orphan_edges']} orphan edges, "
+          f"{summary['events_dropped']} ring drops)")
+    print()
+    print(f"top {args.top} slowest syscalls:")
+    print(forest.table(args.top))
+    print()
+    print(path.table())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.trace(), fh)
+        print(f"\nwrote Chrome trace (with causal flow arrows) to {args.out}")
+    if args.flame:
+        write_flamegraph(args.flame, forest, result.obs.spans)
+        print(f"wrote collapsed-stack flamegraph to {args.flame} "
+              "(feed to flamegraph.pl or speedscope)")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"schema": "repro.obs.trace/v1",
+                       "provenance": summary,
+                       "critical_path": path.to_dict()}, fh, indent=2)
+        print(f"wrote trace summary JSON to {args.json}")
+    if not path.check():
+        print("critical-path check FAILED (segments do not sum to wall-clock)")
+        return 1
     return 0
 
 
@@ -322,6 +398,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "perf":

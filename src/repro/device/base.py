@@ -133,6 +133,10 @@ class StorageDevice(abc.ABC):
     #: Models override this with their own pathology.
     fault_latency_spike: float = 0.010
 
+    #: What this model's parallel internal units are called in provenance
+    #: records (flash channels, Optane banks, ...); purely descriptive.
+    provenance_unit: str = "unit"
+
     def __init__(self, name: str, capacity: int) -> None:
         if capacity <= 0:
             raise DeviceError("capacity must be positive")
@@ -147,6 +151,8 @@ class StorageDevice(abc.ABC):
         # touches the facades at all
         self._observing = self.obs.enabled
         self._faulting = self.faults.enabled
+        # causal tracing armed; only consulted inside observing branches
+        self._tracing = self._observing and self.obs.provenance is not None
         self._controller_free = 0.0
         self._link_free = 0.0
         self._unit_free: Dict[int, float] = {}
@@ -184,6 +190,7 @@ class StorageDevice(abc.ABC):
         batch_penalty = 0.0
         observing = self._observing
         faulting = self._faulting
+        tracing = self._tracing
         # hot loop: every split request of every syscall lands here, so
         # resolve attribute lookups once per batch
         plan_command = self._plan_command
@@ -231,6 +238,16 @@ class StorageDevice(abc.ABC):
                 self.obs.device_command(
                     self.name, command.op.value, command_finish - command_begin
                 )
+                if tracing and command.pid:
+                    # causal edge: syscall -> this command's completion,
+                    # with the queue-wait/service split and the model's
+                    # parallelism + discontiguity penalty
+                    self.obs.provenance.command(
+                        command.pid, self.name, self.provenance_unit,
+                        command.op.value, command.offset, command.length,
+                        start_time, command_begin, command_finish,
+                        len(plan.unit_work), plan.penalty_time,
+                    )
             if torn_lost is not None:
                 break  # the batch tears here: later commands never ran
         self._controller_free = controller

@@ -52,6 +52,9 @@ class HddDevice(StorageDevice):
     #: a recalibration pass, tens of milliseconds on a 7200 RPM disk
     fault_latency_spike = 0.050
 
+    #: provenance records label the single serial unit as the head
+    provenance_unit = "head"
+
     def __init__(self, capacity: int = 64 * GIB, params: Optional[HddParams] = None, name: str = "hdd") -> None:
         super().__init__(name, capacity)
         self.params = params = params if params is not None else HddParams()

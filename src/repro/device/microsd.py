@@ -44,6 +44,9 @@ class MicroSdDevice(StorageDevice):
     #: flash is notorious for (block reclaim behind a tiny mapping cache)
     fault_latency_spike = 0.100
 
+    #: provenance records label work by the mapping segment it touches
+    provenance_unit = "segment"
+
     def __init__(self, capacity: int = 32 * GIB, params: Optional[MicroSdParams] = None, name: str = "microsd") -> None:
         super().__init__(name, capacity)
         self.params = params = params if params is not None else MicroSdParams()

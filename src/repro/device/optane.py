@@ -50,6 +50,9 @@ class OptaneSsd(StorageDevice):
     #: controller hiccups (thermal throttle, internal ECC retry)
     fault_latency_spike = 0.0005
 
+    #: provenance records label parallel units as XPoint banks
+    provenance_unit = "bank"
+
     def __init__(self, capacity: int = 64 * GIB, params: Optional[OptaneParams] = None, name: str = "optane") -> None:
         super().__init__(name, capacity)
         self.params = params = params if params is not None else OptaneParams()

@@ -139,6 +139,9 @@ class Filesystem(abc.ABC):
         # facade dispatch (and event construction) entirely
         self._observing = self.obs.enabled
         self._faulting = self.faults.enabled
+        # causal tracing armed: mint a provenance id per layer-crossing
+        # syscall; only consulted inside _observing-guarded paths
+        self._tracing = self._observing and self.obs.provenance is not None
         self.scheduler = BlockScheduler(
             device, kernel_overhead_per_request, tracer=tracer
         )
@@ -289,14 +292,22 @@ class Filesystem(abc.ABC):
             return SyscallResult(finish, finish - now, 0, 0, b"" if want_data else None)
         entry_time = now
         now += self._probe_cost
+        pid = self.obs.provenance.mint() if self._tracing else 0
         if handle.o_direct:
-            result = self._read_direct(handle, inode, offset, length, now)
+            result = self._read_direct(handle, inode, offset, length, now, pid)
         else:
-            result = self._read_buffered(handle, inode, offset, length, now)
+            result = self._read_buffered(handle, inode, offset, length, now, pid)
         data = self.page_store.read(inode.ino, offset, length) if want_data else None
         if self._observing:
             self.obs.syscall("read", result.finish_time - entry_time)
             self.obs.fs_cpu(self._probe_cost)
+            if pid:
+                self.obs.provenance.syscall(
+                    pid, "read", app=handle.app, path=inode.path,
+                    ino=inode.ino, offset=offset, size=length,
+                    start=entry_time, end=result.finish_time,
+                    requests=result.requests,
+                )
         return SyscallResult(
             result.finish_time,
             result.finish_time - entry_time,
@@ -305,19 +316,19 @@ class Filesystem(abc.ABC):
             data,
         )
 
-    def _read_direct(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float) -> SyscallResult:
+    def _read_direct(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float, pid: int = 0) -> SyscallResult:
         if offset % BLOCK_SIZE or length % BLOCK_SIZE:
             # Linux O_DIRECT requires logical-block alignment.
             raise InvalidArgument(f"O_DIRECT read misaligned: offset={offset} length={length}")
         ranges = inode.extent_map.disk_ranges(offset, length)
-        commands = split_ranges(IoOp.READ, ranges, tag=handle.app)
+        commands = split_ranges(IoOp.READ, ranges, tag=handle.app, pid=pid)
         submit = self.scheduler.submit(commands, now)
         finish = max(submit.finish_time, now) + self.costs.syscall_overhead
         if self._observing:
             self.obs.fs_cpu(self.costs.syscall_overhead)
         return SyscallResult(finish, finish - now, submit.commands, length)
 
-    def _read_buffered(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float) -> SyscallResult:
+    def _read_buffered(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float, pid: int = 0) -> SyscallResult:
         plan = handle.readahead.plan(offset, length, inode.size)
         first_page = plan.fetch_start // BLOCK_SIZE
         last_page = max(first_page, (plan.fetch_end - 1) // BLOCK_SIZE)
@@ -333,13 +344,15 @@ class Filesystem(abc.ABC):
                 ranges.extend(
                     inode.extent_map.disk_ranges(run_start * BLOCK_SIZE, run_len * BLOCK_SIZE)
                 )
-            commands = split_ranges(IoOp.READ, ranges, tag=handle.app)
+            commands = split_ranges(IoOp.READ, ranges, tag=handle.app, pid=pid)
             submit = self.scheduler.submit(commands, now)
             requests = submit.commands
             finish = max(finish, submit.finish_time)
             evicted = self.page_cache.fill((inode.ino, page) for page in missing)
             if evicted:
-                finish = self._writeback_pages(evicted, finish).finish_time
+                # eviction writeback is causally this read's fault: the
+                # flushed commands carry its pid
+                finish = self._writeback_pages(evicted, finish, pid=pid).finish_time
         copy_time = length / self.costs.memcpy_rate
         finish += copy_time + self.costs.syscall_overhead
         if self._observing:
@@ -388,13 +401,21 @@ class Filesystem(abc.ABC):
         inode.size = max(inode.size, offset + length)
         entry_time = now
         now += self._probe_cost
+        pid = self.obs.provenance.mint() if self._tracing else 0
         if handle.o_direct:
-            result = self._write_direct(handle, inode, offset, length, now)
+            result = self._write_direct(handle, inode, offset, length, now, pid)
         else:
-            result = self._write_buffered(handle, inode, offset, length, now)
+            result = self._write_buffered(handle, inode, offset, length, now, pid)
         if self._observing:
             self.obs.syscall("write", result.finish_time - entry_time)
             self.obs.fs_cpu(self._probe_cost)
+            if pid:
+                self.obs.provenance.syscall(
+                    pid, "write", app=handle.app, path=inode.path,
+                    ino=inode.ino, offset=offset, size=length,
+                    start=entry_time, end=result.finish_time,
+                    requests=result.requests,
+                )
         return SyscallResult(
             result.finish_time,
             result.finish_time - entry_time,
@@ -402,19 +423,19 @@ class Filesystem(abc.ABC):
             result.bytes_transferred,
         )
 
-    def _write_direct(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float) -> SyscallResult:
+    def _write_direct(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float, pid: int = 0) -> SyscallResult:
         if offset % BLOCK_SIZE or length % BLOCK_SIZE:
             raise InvalidArgument(f"O_DIRECT write misaligned: offset={offset} length={length}")
         ranges = self._allocate_write(inode, offset, length)
         self._meta_dirty = True
-        commands = split_ranges(IoOp.WRITE, ranges, tag=handle.app)
+        commands = split_ranges(IoOp.WRITE, ranges, tag=handle.app, pid=pid)
         submit = self.scheduler.submit(commands, now)
         finish = max(submit.finish_time, now) + self.costs.syscall_overhead
         if self._observing:
             self.obs.fs_cpu(self.costs.syscall_overhead)
         return SyscallResult(finish, finish - now, submit.commands, length)
 
-    def _write_buffered(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float) -> SyscallResult:
+    def _write_buffered(self, handle: FileHandle, inode: Inode, offset: int, length: int, now: float, pid: int = 0) -> SyscallResult:
         first = offset // BLOCK_SIZE
         last = (offset + length - 1) // BLOCK_SIZE
         evicted = self.page_cache.mark_dirty((inode.ino, page) for page in range(first, last + 1))
@@ -422,7 +443,7 @@ class Filesystem(abc.ABC):
         if self._observing:
             self.obs.fs_cpu(finish - now)
         if evicted:
-            finish = self._writeback_pages(evicted, finish).finish_time
+            finish = self._writeback_pages(evicted, finish, pid=pid).finish_time
         return SyscallResult(finish, finish - now, 0, length)
 
     def fsync(self, handle: FileHandle, now: float = 0.0) -> SyscallResult:
@@ -431,40 +452,62 @@ class Filesystem(abc.ABC):
         inode = self.inode(handle.ino)
         if self._faulting:
             now, _ = self._fault_syscall("fsync", inode, 0, inode.size, now)
+        pid = self.obs.provenance.mint() if self._tracing else 0
         dirty = self.page_cache.dirty_pages(inode.ino)
         requests = 0
         finish = now
         if dirty:
-            submit = self._writeback_pages([(inode.ino, page) for page in dirty], now, tag=handle.app)
+            submit = self._writeback_pages(
+                [(inode.ino, page) for page in dirty], now,
+                tag=handle.app, pid=pid,
+            )
             requests += submit.commands
             finish = submit.finish_time
-        meta = self._commit_metadata(finish, tag="meta")
+        meta = self._commit_metadata(finish, tag="meta", pid=pid)
         requests += meta.commands
         finish = max(finish, meta.finish_time) + self.costs.syscall_overhead
         if self._observing:
             self.obs.syscall("fsync", finish - now)
             self.obs.fs_cpu(self.costs.syscall_overhead)
+            if pid:
+                self.obs.provenance.syscall(
+                    pid, "fsync", app=handle.app, path=inode.path,
+                    ino=inode.ino, offset=0, size=len(dirty) * BLOCK_SIZE,
+                    start=now, end=finish, requests=requests,
+                )
         return SyscallResult(finish, finish - now, requests, len(dirty) * BLOCK_SIZE)
 
     def sync(self, now: float = 0.0) -> SyscallResult:
         """Flush everything (sync(2))."""
+        pid = self.obs.provenance.mint() if self._tracing else 0
         finish = now
         requests = 0
         for ino in list(self.inodes):
             dirty = self.page_cache.dirty_pages(ino)
             if not dirty:
                 continue
-            submit = self._writeback_pages([(ino, page) for page in dirty], finish)
+            submit = self._writeback_pages([(ino, page) for page in dirty], finish, pid=pid)
             requests += submit.commands
             finish = submit.finish_time
-        meta = self._commit_metadata(finish, tag="meta")
+        meta = self._commit_metadata(finish, tag="meta", pid=pid)
         finish = max(finish, meta.finish_time)
         if self._observing:
             self.obs.syscall("sync", finish - now)
+            if pid:
+                self.obs.provenance.syscall(
+                    pid, "sync", app="kernel", path="*", ino=0,
+                    offset=0, size=0, start=now, end=finish,
+                    requests=requests + meta.commands,
+                )
         return SyscallResult(finish, finish - now, requests + meta.commands, 0)
 
-    def _writeback_pages(self, keys: Sequence[Tuple[int, int]], now: float, tag: str = "writeback") -> SubmitResult:
-        """Write dirty pages out, allocating blocks as needed."""
+    def _writeback_pages(self, keys: Sequence[Tuple[int, int]], now: float, tag: str = "writeback", pid: int = 0) -> SubmitResult:
+        """Write dirty pages out, allocating blocks as needed.
+
+        ``pid`` attributes the flushed commands to the syscall that forced
+        the writeback (fsync/sync, or a read/write that evicted dirty
+        pages); 0 leaves them causally untracked.
+        """
         by_ino: Dict[int, List[int]] = {}
         for ino, page in keys:
             by_ino.setdefault(ino, []).append(page)
@@ -476,7 +519,7 @@ class Filesystem(abc.ABC):
             pages.sort()
             for run_start, run_len in _page_runs(pages):
                 ranges = self._allocate_write(inode, run_start * BLOCK_SIZE, run_len * BLOCK_SIZE)
-                commands.extend(split_ranges(IoOp.WRITE, ranges, tag=tag))
+                commands.extend(split_ranges(IoOp.WRITE, ranges, tag=tag, pid=pid))
             self._meta_dirty = True
             self.page_cache.clean(ino, pages)
         return self.scheduler.submit(commands, now)
@@ -622,11 +665,12 @@ class Filesystem(abc.ABC):
     # metadata journal
     # ------------------------------------------------------------------
 
-    def _commit_metadata(self, now: float, tag: str) -> SubmitResult:
+    def _commit_metadata(self, now: float, tag: str, pid: int = 0) -> SubmitResult:
         """Commit pending metadata (one journal/checkpoint transaction).
 
         Metadata-dirtying syscalls only *flag* the journal (jbd2 batches
-        transactions); the write happens here, at fsync/sync time.
+        transactions); the write happens here, at fsync/sync time.  The
+        journal write is attributed to the flushing syscall via ``pid``.
         """
         if not self.journaling or not self._meta_dirty:
             return SubmitResult(now, 0.0, 0, 0.0, 0.0)
@@ -636,7 +680,7 @@ class Filesystem(abc.ABC):
         if offset + record > self.metadata_region:
             offset = 0
         self._journal_head = offset + record
-        command = IoCommand(IoOp.WRITE, offset, record, tag)
+        command = IoCommand(IoOp.WRITE, offset, record, tag, pid)
         return self.scheduler.submit([command], now)
 
     # ------------------------------------------------------------------

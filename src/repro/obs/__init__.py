@@ -18,7 +18,14 @@ measurement substrate:
   sum-to-total invariant) and span-tree summaries;
 - :mod:`repro.obs.sampler` — fragmentation timelines: extents-per-file,
   free-space fragmentation, and contiguity sampled over virtual time,
-  exported as counter curves in the Chrome trace.
+  exported as counter curves in the Chrome trace;
+- :mod:`repro.obs.provenance` — causal I/O lineage: per-syscall
+  provenance ids threaded fs → block → device, reconstructed into
+  syscall→request→command trees;
+- :mod:`repro.obs.critical_path` — the critical path of a whole run
+  (sum-to-total checked against wall-clock), collapsed-stack flamegraph
+  export, and Chrome flow events linking syscalls to their tail
+  commands.
 """
 
 from .hooks import (  # noqa: F401
@@ -36,6 +43,7 @@ from .export import (  # noqa: F401
     chrome_trace,
     metrics_json,
     metrics_table,
+    prometheus_text,
     write_chrome_trace,
 )
 from .analysis import (  # noqa: F401
@@ -47,3 +55,16 @@ from .analysis import (  # noqa: F401
     span_table,
 )
 from .sampler import FragmentationSampler  # noqa: F401
+from .provenance import (  # noqa: F401
+    ProvenanceForest,
+    ProvenanceRecorder,
+    SyscallTree,
+    build_forest,
+)
+from .critical_path import (  # noqa: F401
+    CriticalPath,
+    critical_path,
+    flamegraph,
+    flow_events,
+    write_flamegraph,
+)

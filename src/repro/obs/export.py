@@ -1,4 +1,4 @@
-"""Exporters: Chrome ``trace_event`` JSON, metrics JSON, text tables.
+"""Exporters: Chrome ``trace_event`` JSON, metrics JSON/tables, Prometheus.
 
 The Chrome trace format (loadable in ``chrome://tracing`` or Perfetto's
 "Open trace file") is the object form::
@@ -15,6 +15,7 @@ non-standard top-level ``metrics`` key (Chrome ignores unknown keys).
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, List, Optional
 
 from ..stats.tables import format_table
@@ -50,12 +51,18 @@ def chrome_trace(
     recorder: SpanRecorder,
     registry: Optional[MetricsRegistry] = None,
     sampler=None,
+    extra_events: Optional[List[Dict[str, object]]] = None,
 ) -> Dict[str, object]:
     """Build a Chrome trace_event document from recorded spans/events.
 
     ``sampler`` (anything with ``.series`` and ``.to_dict()``, e.g. a
     :class:`~repro.obs.sampler.FragmentationSampler`) adds counter curves
     to the event stream plus a raw ``fragTimeline`` top-level key.
+    ``extra_events`` appends pre-built trace events verbatim — e.g. the
+    provenance slices and flow arrows from
+    :func:`repro.obs.critical_path.flow_events` (those carry their own
+    tids from a reserved namespace, so they never collide with the track
+    ids assigned here).
     """
     events: List[Dict[str, object]] = []
     tracks = recorder.tracks() or ["main"]
@@ -92,12 +99,16 @@ def chrome_trace(
         })
     if sampler is not None:
         events.extend(counter_events(sampler.series))
+    if extra_events:
+        events.extend(extra_events)
     document: Dict[str, object] = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
     }
     if recorder.dropped_spans:
         document["droppedSpans"] = recorder.dropped_spans
+    if recorder.dropped_events:
+        document["droppedEvents"] = recorder.dropped_events
     if registry is not None:
         document["metrics"] = registry.to_dict()
     if sampler is not None:
@@ -135,6 +146,61 @@ def metrics_table(registry: MetricsRegistry) -> str:
     if histograms:
         sections.append(histogram_table(histograms))
     return "\n\n".join(sections)
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Metric name in Prometheus' charset (dots and dashes become '_')."""
+    sanitized = _PROM_INVALID.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus text-format (0.0.4) rendering of the whole registry.
+
+    Counters and gauges export their value directly (gauges additionally
+    export their remembered peak as ``<name>_peak``); histograms export
+    the standard ``_bucket`` (cumulative, with ``le`` labels and the
+    ``+Inf`` catch-all), ``_sum`` and ``_count`` series.  Output is
+    name-sorted, so two runs producing the same metrics render
+    byte-identically regardless of metric creation order.
+    """
+    lines: List[str] = []
+    for metric in sorted(registry.metrics(), key=lambda m: m.name):
+        entry = metric.to_dict()
+        name = _prom_name(metric.name)
+        kind = entry["kind"]
+        if kind == "counter":
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_prom_value(entry['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_value(entry['value'])}")
+            lines.append(f"# TYPE {name}_peak gauge")
+            lines.append(f"{name}_peak {_prom_value(entry['peak'])}")
+        else:
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(entry["bounds"], entry["bucket_counts"]):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {entry["count"]}')
+            lines.append(f"{name}_sum {_prom_value(entry['sum'])}")
+            lines.append(f"{name}_count {entry['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def histogram_table(histograms: List[Histogram]) -> str:

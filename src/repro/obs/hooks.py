@@ -72,11 +72,27 @@ from contextlib import contextmanager
 from typing import Dict, Optional, Tuple
 
 from .metrics import COUNT_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry
+from .provenance import ProvenanceRecorder
 from .spans import Span, SpanRecorder
 
 
 class Instrumentation:
-    """Live facade: metrics registry + span recorder behind layer hooks."""
+    """Live facade: metrics registry + span recorder behind layer hooks.
+
+    ``max_spans``/``max_events`` size the span store and event ring when
+    the facade builds its own :class:`SpanRecorder` (ignored when an
+    existing ``spans`` recorder is passed — size that one directly).  The
+    event ring evicts oldest-first once full; every wrap increments the
+    ``obs.events_dropped`` counter so provenance-armed runs can't lose
+    causal edges silently (see :mod:`repro.obs.spans` for the truncation
+    contract).
+
+    ``provenance=True`` arms per-syscall causal tracing: layers built
+    while this facade is installed mint provenance ids and record
+    syscall→request→command edges into the event ring
+    (:mod:`repro.obs.provenance`).  Disarmed (the default), no ids are
+    minted and commands carry ``pid=0``.
+    """
 
     enabled = True
 
@@ -84,9 +100,23 @@ class Instrumentation:
         self,
         registry: Optional[MetricsRegistry] = None,
         spans: Optional[SpanRecorder] = None,
+        max_spans: Optional[int] = None,
+        max_events: Optional[int] = None,
+        provenance: bool = False,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.spans = spans if spans is not None else SpanRecorder()
+        if spans is not None:
+            self.spans = spans
+        else:
+            span_kwargs = {}
+            if max_spans is not None:
+                span_kwargs["max_spans"] = max_spans
+            if max_events is not None:
+                span_kwargs["max_events"] = max_events
+            self.spans = SpanRecorder(**span_kwargs)
+        self.provenance: Optional[ProvenanceRecorder] = (
+            ProvenanceRecorder(self.spans) if provenance else None
+        )
         # get-or-create caches so hot hooks skip name formatting when possible
         self._syscall: Dict[str, Tuple[Counter, Histogram]] = {}
         self._device: Dict[Tuple[str, str], Histogram] = {}
@@ -110,6 +140,8 @@ class Instrumentation:
         self._faults_total = reg.counter("faults.injected.total")
         self._recovery_entries = reg.counter("recovery.entries_replayed")
         self._recovery_bytes = reg.counter("recovery.bytes_restored")
+        # event-ring wrap visibility (see the class docstring)
+        self.spans.drop_counter = reg.counter("obs.events_dropped")
 
     # -- fs / VFS ------------------------------------------------------
 
@@ -242,6 +274,7 @@ class NullInstrumentation:
     enabled = False
     registry = None
     spans = None
+    provenance = None
 
     def syscall(self, op: str, latency: float) -> None:
         pass
@@ -315,9 +348,15 @@ def install(instrumentation) -> None:
 def enable(
     registry: Optional[MetricsRegistry] = None,
     spans: Optional[SpanRecorder] = None,
+    max_spans: Optional[int] = None,
+    max_events: Optional[int] = None,
+    provenance: bool = False,
 ) -> Instrumentation:
     """Install (and return) a live instrumentation."""
-    instrumentation = Instrumentation(registry, spans)
+    instrumentation = Instrumentation(
+        registry, spans, max_spans=max_spans, max_events=max_events,
+        provenance=provenance,
+    )
     install(instrumentation)
     return instrumentation
 

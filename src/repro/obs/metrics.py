@@ -200,6 +200,14 @@ class MetricsRegistry:
     # -- views ---------------------------------------------------------
 
     def metrics(self) -> Iterable[object]:
+        """Every metric, insertion-ordered within each kind.
+
+        Deliberately NOT sorted: windowed float reductions (the latency
+        attribution) accumulate in this order, and the bench-guard
+        baseline pins their last-ulp values.  Renderings that need
+        byte-stable output (tables, JSON, Prometheus text) sort by name
+        themselves.
+        """
         yield from self._counters.values()
         yield from self._gauges.values()
         yield from self._histograms.values()

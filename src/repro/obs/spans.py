@@ -16,9 +16,18 @@ or an :class:`~repro.sim.engine.ActorContext`)::
     with recorder.span("phase.analyze", clock):
         ...
 
-Instant happenings (actor steps, frag-check skips) go into a bounded ring
-buffer via :meth:`SpanRecorder.event` so long experiments cannot grow the
-log without bound.
+Instant happenings (actor steps, frag-check skips, provenance edges) go
+into a bounded ring buffer via :meth:`SpanRecorder.event` so long
+experiments cannot grow the log without bound.
+
+Truncation behaviour: both stores are bounded.  Spans past ``max_spans``
+are *not* kept (``dropped_spans`` counts them); events past ``max_events``
+evict the **oldest** ring entries (``dropped_events`` counts the wraps,
+and an attached ``drop_counter`` — ``obs.events_dropped`` when owned by an
+:class:`~repro.obs.hooks.Instrumentation` — surfaces the loss in the
+metrics registry, so provenance-armed runs can't silently lose causal
+edges).  Size the buffers per run via
+``Instrumentation(max_spans=..., max_events=...)``.
 """
 
 from __future__ import annotations
@@ -86,6 +95,11 @@ class SpanRecorder:
         self.spans: List[Span] = []
         self.events: Deque[SpanEvent] = deque(maxlen=max_events)
         self.dropped_spans = 0
+        #: events evicted by ring wrap (oldest-first) since the last clear
+        self.dropped_events = 0
+        #: optional Counter-like sink (``.inc()``) notified on each wrap;
+        #: Instrumentation points this at its ``obs.events_dropped`` counter
+        self.drop_counter = None
         self._stacks: Dict[str, List[Span]] = {}
 
     # -- spans ---------------------------------------------------------
@@ -134,7 +148,13 @@ class SpanRecorder:
     # -- events --------------------------------------------------------
 
     def event(self, name: str, now: float, track: str = "main", **attrs: object) -> None:
-        self.events.append(SpanEvent(name, now, attrs, track))
+        events = self.events
+        if len(events) == events.maxlen:
+            # the ring wraps: the oldest event is about to be evicted
+            self.dropped_events += 1
+            if self.drop_counter is not None:
+                self.drop_counter.inc()
+        events.append(SpanEvent(name, now, attrs, track))
 
     # -- views ---------------------------------------------------------
 
@@ -156,4 +176,5 @@ class SpanRecorder:
         self.spans.clear()
         self.events.clear()
         self.dropped_spans = 0
+        self.dropped_events = 0
         self._stacks.clear()

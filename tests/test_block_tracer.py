@@ -57,7 +57,7 @@ def test_observe_emits_into_obs_event_ring():
         assert len(events) == 2
         read, write = events
         assert read.track == "block" and read.time == 1.5
-        assert read.attrs == {"op": "read", "offset": 4096, "length": 512, "tag": "a"}
+        assert read.attrs == {"op": "read", "offset": 4096, "length": 512, "tag": "a", "pid": 0}
         assert write.attrs["op"] == "write" and write.attrs["tag"] == "b"
         # the counter side is unaffected by the mirroring
         assert tracer.tag("a").read_bytes == 512

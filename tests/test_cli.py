@@ -65,6 +65,43 @@ def test_faults_smoke_survives(capsys, tmp_path):
     assert doc["campaign"]["data_intact"] is True
 
 
+def test_trace_smoke_writes_flamegraph_and_flow_trace(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    flame_path = tmp_path / "flame.txt"
+    summary_path = tmp_path / "summary.json"
+    assert main(["trace", "--smoke", "--out", str(trace_path),
+                 "--flame", str(flame_path), "--json", str(summary_path)]) == 0
+    out = capsys.readouterr().out
+    assert "provenance:" in out
+    assert "slowest syscalls" in out
+    assert "critical path" in out.lower()
+    # the Chrome trace carries causal flow arrows on the prov category
+    doc = json.loads(trace_path.read_text())
+    prov = [e for e in doc["traceEvents"] if e.get("cat") == "prov"]
+    assert any(e["ph"] == "s" for e in prov)
+    assert any(e["ph"] == "f" for e in prov)
+    # collapsed stacks: "frame;frame;... <integer-microseconds>" per line
+    stacks = flame_path.read_text().splitlines()
+    assert stacks
+    for line in stacks:
+        frames, weight = line.rsplit(" ", 1)
+        assert frames and int(weight) >= 0
+    summary = json.loads(summary_path.read_text())
+    assert summary["schema"] == "repro.obs.trace/v1"
+    assert summary["provenance"]["layer_crossing"] > 0
+    assert summary["critical_path"]["ok"] is True
+
+
+def test_obs_critical_path_flag(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    assert main(["obs", "--smoke", "--critical-path",
+                 "--out", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "critical path:" in out
+    assert "provenance:" in out
+    assert "tail command" in out  # the forest's fan-out table rode along
+
+
 def test_every_experiment_registered():
     # one CLI entry per paper artifact + ablations + extensions
     assert len(EXPERIMENTS) >= 15

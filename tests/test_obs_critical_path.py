@@ -1,0 +1,184 @@
+"""Critical-path sweep, flamegraph, and flow-event exports."""
+
+import re
+
+import pytest
+
+from repro.constants import BLOCK_SIZE, MIB
+from repro.device import make_device
+from repro.fs import make_filesystem
+from repro.obs import hooks
+from repro.obs.critical_path import (
+    FLOW_TID_BASE,
+    critical_path,
+    flamegraph,
+    flow_events,
+)
+from repro.obs.hooks import Instrumentation
+from repro.obs.provenance import (
+    CommandNode,
+    ProvenanceForest,
+    SubmitNode,
+    SyscallTree,
+    build_forest,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_instrumentation():
+    yield
+    hooks.disable()
+
+
+def _tree(pid, op, start, end, path="/f", commands=()):
+    tree = SyscallTree(pid=pid, op=op, app="db", path=path,
+                       start=start, end=end, complete=True)
+    tree.submits.append(SubmitNode(pid, max(1, len(commands)), start,
+                                   start, start))
+    tree.commands.extend(commands)
+    return tree
+
+
+def _cmd(pid, begin, end, device="flash", op="read"):
+    return CommandNode(pid=pid, device=device, unit="channel", op=op,
+                       offset=0, length=BLOCK_SIZE, issue=begin,
+                       begin=begin, end=end, units=1, penalty=0.0)
+
+
+def _forest(*trees):
+    forest = ProvenanceForest()
+    for tree in trees:
+        forest.trees[tree.pid] = tree
+    return forest
+
+
+# -- the sweep ---------------------------------------------------------
+
+
+def test_segments_sum_to_wall_clock_exactly():
+    forest = _forest(
+        _tree(1, "read", 0.0, 1.0, commands=[_cmd(1, 0.2, 0.9)]),
+        _tree(2, "write", 2.0, 3.5, commands=[_cmd(2, 2.1, 3.4, op="write")]),
+    )
+    path = critical_path(forest)
+    assert path.run_start == 0.0 and path.run_end == 3.5
+    assert path.total == path.wall_clock  # exact, not approx
+    assert path.residual == 0.0
+    assert path.check()
+    kinds = [s.kind for s in path.segments]
+    assert kinds == ["syscall", "host", "syscall"]  # gap becomes host
+
+
+def test_overlapping_syscalls_are_clipped_not_double_counted():
+    # co-running actors: second call overlaps the first's tail
+    forest = _forest(
+        _tree(1, "read", 0.0, 2.0),
+        _tree(2, "read", 1.0, 3.0),
+    )
+    path = critical_path(forest)
+    assert path.total == path.wall_clock
+    sys_segments = [s for s in path.segments if s.kind == "syscall"]
+    assert [(s.start, s.end) for s in sys_segments] == [(0.0, 2.0), (2.0, 3.0)]
+    assert [s.pid for s in sys_segments] == [1, 2]
+
+
+def test_host_gaps_are_labelled_by_enclosing_phase_span():
+    from repro.obs.spans import SpanRecorder
+    spans = SpanRecorder()
+    phase = spans.start("phase.before", 0.0)
+    spans.finish(phase, 4.0)
+    forest = _forest(
+        _tree(1, "read", 0.5, 1.0),
+        _tree(2, "read", 3.0, 3.5),
+    )
+    path = critical_path(forest, spans, start=0.0, end=4.0)
+    hosts = [s for s in path.segments if s.kind == "host"]
+    assert hosts and all(s.phase == "phase.before" for s in hosts)
+    assert path.total == path.wall_clock
+    # syscall segments inside the span share its phase: everything lands there
+    assert path.by_phase() == {"phase.before": pytest.approx(4.0)}
+
+
+def test_empty_forest_yields_empty_path():
+    path = critical_path(ProvenanceForest())
+    assert path.wall_clock == 0.0 and not path.segments
+    assert path.check()
+
+
+def test_to_dict_schema_and_table_render():
+    forest = _forest(_tree(1, "read", 0.0, 1.0))
+    path = critical_path(forest)
+    doc = path.to_dict()
+    assert doc["schema"] == "repro.obs.critical_path/v1"
+    assert doc["ok"] is True
+    assert "check OK" in path.table()
+
+
+# -- flamegraph --------------------------------------------------------
+
+
+def test_flamegraph_collapsed_stack_format():
+    forest = _forest(
+        _tree(1, "read", 0.0, 1.0, commands=[_cmd(1, 0.2, 0.9)]),
+    )
+    text = flamegraph(forest)
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        assert re.fullmatch(r"\S+ \d+", line), line
+        stack = line.split(" ")[0]
+        assert stack.startswith("run;")
+    # the device service frame dominates this tree
+    assert any("flash.read" in line for line in text.splitlines())
+
+
+def test_flamegraph_weights_are_integer_microseconds():
+    forest = _forest(
+        _tree(1, "read", 0.0, 1.0, commands=[_cmd(1, 0.25, 0.75)]),
+    )
+    weights = dict(
+        line.rsplit(" ", 1) for line in flamegraph(forest).splitlines()
+    )
+    assert weights["run;run;read:db;flash.read"] == str(500_000)
+
+
+# -- flow events -------------------------------------------------------
+
+
+def test_flow_events_pair_start_and_finish_per_pid():
+    forest = _forest(
+        _tree(1, "read", 0.0, 1.0, commands=[_cmd(1, 0.2, 0.9)]),
+        _tree(2, "write", 1.0, 2.0, commands=[_cmd(2, 1.3, 1.9, op="write")]),
+    )
+    events = flow_events(forest)
+    starts = {e["id"]: e for e in events if e["ph"] == "s"}
+    finishes = {e["id"]: e for e in events if e["ph"] == "f"}
+    assert set(starts) == set(finishes) == {1, 2}
+    for pid in starts:
+        assert finishes[pid]["bp"] == "e"
+        assert finishes[pid]["ts"] >= starts[pid]["ts"]
+    # slices land on the reserved provenance tid namespace
+    slices = [e for e in events if e["ph"] == "X"]
+    assert slices and all(e["tid"] >= FLOW_TID_BASE for e in slices)
+    assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in slices)
+
+
+# -- end to end over the real stack ------------------------------------
+
+
+def test_real_run_critical_path_checks_out():
+    obs = Instrumentation(provenance=True)
+    hooks.install(obs)
+    device = make_device("flash", capacity=64 * MIB)
+    fs = make_filesystem("ext4", device, metadata_region=4 * MIB)
+    handle = fs.open("/f", o_direct=True, app="db", create=True)
+    now = 0.0
+    for i in range(16):
+        now = fs.write(handle, i * BLOCK_SIZE, BLOCK_SIZE, now=now).finish_time
+    for i in range(16):
+        now = fs.read(handle, i * BLOCK_SIZE, BLOCK_SIZE, now=now).finish_time
+    forest = build_forest(obs.spans)
+    assert len(forest.layer_crossing()) == 32
+    path = critical_path(forest, obs.spans)
+    assert path.check()
+    assert path.total == pytest.approx(path.wall_clock)
+    assert flamegraph(forest, obs.spans)  # non-empty profile

@@ -19,9 +19,9 @@ def _restore_global_instrumentation():
     hooks.disable()
 
 
-def _run_once(enabled: bool):
+def _run_once(enabled: bool, provenance: bool = False):
     if enabled:
-        context = hooks.use(Instrumentation())
+        context = hooks.use(Instrumentation(provenance=provenance))
     else:
         context = hooks.use(hooks.NullInstrumentation())
     with context:
@@ -51,3 +51,26 @@ def test_enabling_obs_is_bit_identical():
     sample = with_obs.cells["fragpicker_b"]["seq_read"].obs
     assert sample is not None and sample.attribution is not None
     assert without.cells["fragpicker_b"]["seq_read"].obs is None
+
+
+def test_arming_provenance_is_bit_identical():
+    """Causal tracing reads the timeline too: minting pids and recording
+    syscall→request→command edges must not move a single virtual-time
+    float vs a fully disabled run."""
+    armed = _run_once(enabled=True, provenance=True)
+    without = _run_once(enabled=False)
+    for variant in armed.cells:
+        for pattern in armed.cells[variant]:
+            a = armed.cells[variant][pattern]
+            b = without.cells[variant][pattern]
+            assert a.throughput_mbps == b.throughput_mbps, (variant, pattern)
+            assert a.defrag_write_mb == b.defrag_write_mb
+            assert a.defrag_read_mb == b.defrag_read_mb
+            assert a.defrag_elapsed == b.defrag_elapsed
+            assert a.fragments_after == b.fragments_after
+    # the armed run actually recorded causal edges
+    sample = armed.cells["fragpicker_b"]["seq_read"].obs
+    assert sample is not None and sample.provenance is not None
+    assert sample.provenance["layer_crossing"] > 0
+    assert sample.provenance["commands"] > 0
+

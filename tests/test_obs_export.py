@@ -6,6 +6,7 @@ from repro.obs.export import (
     chrome_trace,
     metrics_json,
     metrics_table,
+    prometheus_text,
     write_chrome_trace,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -76,3 +77,63 @@ def test_metrics_json_and_table():
     table = metrics_table(reg)
     assert "fs.syscall.read" in table
     assert "p99" in table and "block.queue_backlog_s" in table
+
+
+def _one_order(names_first):
+    """Registry with the same metrics created in a given order."""
+    reg = MetricsRegistry()
+    for name in names_first:
+        reg.counter(f"c.{name}").inc(1)
+        reg.gauge(f"g.{name}").set(2.0)
+        reg.histogram(f"h.{name}").observe(1e-4)
+    return reg
+
+def test_renderings_are_deterministic_across_creation_order():
+    """Tables/JSON/Prometheus text must not depend on which code path
+    created a metric first."""
+    a = _one_order(["zeta", "alpha", "mid"])
+    b = _one_order(["mid", "zeta", "alpha"])
+    assert metrics_json(a) == metrics_json(b)
+    assert metrics_table(a) == metrics_table(b)
+    assert prometheus_text(a) == prometheus_text(b)
+    # and the order is actually name-sorted, not accidental
+    lines = [l for l in metrics_table(a).splitlines() if l.startswith("c.")]
+    assert lines == sorted(lines)
+
+
+def test_prometheus_text_counter_gauge_histogram():
+    reg = MetricsRegistry()
+    reg.counter("fs.syscall.read").inc(3)
+    reg.gauge("block.queue_backlog_s").set(0.5)
+    hist = reg.histogram("lat", bounds=(0.001, 0.01, 0.1))
+    hist.observe(0.0005)
+    hist.observe(0.005)
+    hist.observe(5.0)  # overflows every bound
+    text = prometheus_text(reg)
+    lines = text.splitlines()
+    assert text.endswith("\n")
+    # dots sanitized, TYPE lines present
+    assert "# TYPE fs_syscall_read counter" in lines
+    assert "fs_syscall_read 3" in lines
+    assert "# TYPE block_queue_backlog_s gauge" in lines
+    assert "block_queue_backlog_s 0.5" in lines
+    assert "block_queue_backlog_s_peak 0.5" in lines
+    # histogram: cumulative buckets, +Inf catch-all, sum and count
+    assert 'lat_bucket{le="0.001"} 1' in lines
+    assert 'lat_bucket{le="0.01"} 2' in lines
+    assert 'lat_bucket{le="0.1"} 2' in lines
+    assert 'lat_bucket{le="+Inf"} 3' in lines
+    assert "lat_count 3" in lines
+    sum_line = next(l for l in lines if l.startswith("lat_sum "))
+    assert float(sum_line.split()[1]) == 5.0055
+
+
+def test_prometheus_text_empty_registry_is_empty_string():
+    assert prometheus_text(MetricsRegistry()) == ""
+
+
+def test_prometheus_name_sanitization():
+    reg = MetricsRegistry()
+    reg.counter("device.flash-0.cmds").inc(1)
+    text = prometheus_text(reg)
+    assert "device_flash_0_cmds 1" in text.splitlines()

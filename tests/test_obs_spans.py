@@ -56,6 +56,31 @@ def test_event_ring_buffer_is_bounded():
     assert rec.events[0].attrs["seq"] == 12  # oldest entries evicted
 
 
+def test_event_ring_wrap_counts_drops_and_feeds_counter():
+    from repro.obs.metrics import MetricsRegistry
+
+    rec = SpanRecorder(max_events=4)
+    rec.drop_counter = MetricsRegistry().counter("obs.events_dropped")
+    for i in range(10):
+        rec.event("tick", float(i))
+    assert rec.dropped_events == 6  # 10 appended, ring holds 4
+    assert rec.drop_counter.value == 6
+    rec.clear()
+    assert rec.dropped_events == 0  # counter keeps its cumulative value
+
+
+def test_instrumentation_ring_capacities_are_configurable():
+    from repro.obs.hooks import Instrumentation
+
+    obs = Instrumentation(max_spans=3, max_events=5)
+    for i in range(8):
+        obs.span_finish(obs.span_start(f"s{i}", float(i)), float(i) + 0.5)
+        obs.event("e", float(i))
+    assert len(obs.spans.spans) == 3
+    assert len(obs.spans.events) == 5
+    assert obs.registry.counter("obs.events_dropped").value == 3
+
+
 def test_span_cap_counts_drops():
     rec = SpanRecorder(max_spans=2)
     for i in range(4):
