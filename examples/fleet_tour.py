@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fleet tour: defrag-as-a-service across a population of volumes.
+
+Builds a seed-keyed fleet (mixed filesystems, device models, aging
+profiles, workloads), lets the controller admit FragPicker jobs as
+volumes cross the fragmentation trigger — under a global job cap and a
+fleet-wide migration budget — and then answers the two operator
+questions the SLO report exists for:
+
+1. Does the service actually drain the backlog?  (the volumes-above-
+   threshold curve over scheduler ticks)
+2. What does it cost the foreground?  (p99 read latency with the
+   scheduler on vs. off, same fleet, same seed)
+
+Everything runs in virtual time, so the whole tour takes a few seconds
+and both runs are byte-reproducible (note the fingerprints).
+
+Run:  PYTHONPATH=src python examples/fleet_tour.py
+"""
+
+from repro.constants import MIB
+from repro.fleet import FleetConfig, run_fleet
+
+
+def curve(rows) -> str:
+    return " ".join(str(row.volumes_above) for row in rows)
+
+
+def main() -> None:
+    fleet = dict(volumes=24, seed=7, ticks=10)
+
+    print("== scheduler ON: trigger 4.0 extents/file, 4 MiB/tick budget ==")
+    on = run_fleet(FleetConfig(**fleet))
+    print(on.text())
+
+    print("\n== scheduler STARVED: same fleet, 1-byte budget ==")
+    # jobs are still admitted, but no range can ever reserve payload:
+    # the fleet behaves as if defragmentation were disabled
+    off = run_fleet(FleetConfig(**fleet, budget_per_tick=1))
+    print("  volumes above 4.0 extents/file, per tick:")
+    print(f"    starved: {curve(off.ticks)}   (the backlog never drains)")
+    print(f"    on     : {curve(on.ticks)}   (the service drains it)")
+
+    print("\n== what the service cost (and bought) the foreground ==")
+    print(f"  read latency starved: p50 {off.fg_read_p50_s * 1e3:6.3f} ms  "
+          f"p99 {off.fg_read_p99_s * 1e3:6.3f} ms  "
+          f"mean {off.fg_read_mean_s * 1e3:6.3f} ms")
+    print(f"  read latency on     : p50 {on.fg_read_p50_s * 1e3:6.3f} ms  "
+          f"p99 {on.fg_read_p99_s * 1e3:6.3f} ms  "
+          f"mean {on.fg_read_mean_s * 1e3:6.3f} ms")
+    print(f"  payload migrated    : {on.migrated_payload_bytes / MIB:8.2f} MiB, "
+          f"max {on.max_tick_migrated / MIB:.2f} MiB in any tick "
+          f"(budget {on.config['budget_per_tick'] / MIB:.0f} MiB)")
+
+    print("\n== reproducibility ==")
+    again = run_fleet(FleetConfig(**fleet))
+    print(f"  fingerprint run 1: {on.fingerprint}")
+    print(f"  fingerprint run 2: {again.fingerprint} "
+          f"({'identical' if on.fingerprint == again.fingerprint else 'DRIFTED'})")
+
+
+if __name__ == "__main__":
+    main()

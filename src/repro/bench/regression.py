@@ -108,6 +108,8 @@ class Comparison:
     threshold: float
     findings: List[Finding] = field(default_factory=list)
     warnings: List[str] = field(default_factory=list)
+    #: which document family the comparison covers (report header)
+    kind: str = "bench"
 
     @property
     def regressions(self) -> List[Finding]:
@@ -119,7 +121,7 @@ class Comparison:
 
     def report(self) -> str:
         lines = [
-            f"bench compare: {self.baseline_label} (baseline) vs "
+            f"{self.kind} compare: {self.baseline_label} (baseline) vs "
             f"{self.candidate_label} (candidate), threshold {self.threshold:.0%}"
         ]
         lines += [f"  note: {w}" for w in self.warnings]

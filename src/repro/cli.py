@@ -18,6 +18,9 @@ Usage::
     python -m repro faults --devices hdd microsd flash optane
     python -m repro perf --smoke --json PERF_ci.json     # wall-clock suite
     python -m repro perf --compare PERF_base.json PERF_ci.json
+    python -m repro fleet --volumes 64 --seed 7 --json   # defrag-as-a-service
+    python -m repro fleet --smoke --volumes 8            # CI smoke fleet
+    python -m repro fleet --compare FLEET_a.json FLEET_b.json
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ import argparse
 import sys
 from typing import Dict
 
+from . import cli_util
 from .constants import MIB
 
 
@@ -177,42 +181,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--smoke", action="store_true",
                        help="small/fast suite variant (CI smoke job)")
-    bench.add_argument("--label", default=None,
-                       help="document label (default: 'smoke' or 'full')")
-    bench.add_argument("--json", default=None, metavar="PATH",
-                       help="write the BENCH document here "
-                            "(default: BENCH_<label>.json)")
     bench.add_argument("--trace", default=None, metavar="PATH",
                        help="also write the instrumented run's Chrome trace "
                             "(spans + fragmentation timeline)")
-    bench.add_argument("--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
-                       help="compare two BENCH documents instead of running; "
-                            "exits 1 when a regression exceeds the threshold")
-    bench.add_argument("--threshold", type=float, default=0.10,
-                       help="relative regression threshold (default 0.10)")
-    bench.add_argument("--warn-only", action="store_true",
-                       help="report regressions but always exit 0")
+    cli_util.add_document_args(bench, "BENCH", "BENCH", threshold=0.10)
     perf = sub.add_parser(
         "perf",
         help="wall-clock performance suite: persist PERF_*.json, compare runs",
     )
     perf.add_argument("--smoke", action="store_true",
                       help="small/fast suite variant (CI smoke job)")
-    perf.add_argument("--label", default=None,
-                      help="document label (default: 'smoke' or 'full')")
-    perf.add_argument("--json", default=None, metavar="PATH",
-                      help="write the PERF document here "
-                           "(default: PERF_<label>.json)")
     perf.add_argument("--no-profile", action="store_true",
                       help="skip the bundled cProfile hot-function table")
-    perf.add_argument("--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
-                      help="compare two PERF documents instead of running; "
-                           "exits 1 when a regression exceeds the threshold")
-    perf.add_argument("--threshold", type=float, default=0.20,
-                      help="relative regression threshold (default 0.20; "
-                           "wall clock is noisier than virtual time)")
-    perf.add_argument("--warn-only", action="store_true",
-                      help="report regressions but always exit 0")
+    cli_util.add_document_args(
+        perf, "PERF", "PERF", threshold=0.20,
+        threshold_help="relative regression threshold (default 0.20; "
+                       "wall clock is noisier than virtual time)",
+    )
+    fleet = sub.add_parser(
+        "fleet",
+        help="defrag-as-a-service fleet simulator: persist FLEET_*.json, "
+             "compare runs",
+    )
+    fleet.add_argument("--volumes", type=int, default=64,
+                       help="fleet size (default 64)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="fleet seed (same seed => byte-identical fleet)")
+    fleet.add_argument("--smoke", action="store_true",
+                       help="small/fast fleet variant (CI smoke job)")
+    fleet.add_argument("--ticks", type=int, default=None,
+                       help="scheduler ticks to run (default: config)")
+    fleet.add_argument("--budget", type=float, default=None, metavar="MIB",
+                       help="fleet-wide migration budget per tick, in MiB "
+                            "(0 = unthrottled; default: config)")
+    fleet.add_argument("--trigger", type=float, default=None,
+                       help="extents-per-file admission trigger (default: config)")
+    fleet.add_argument("--max-jobs", type=int, default=None,
+                       help="global concurrent defrag-job cap (default: config)")
+    fleet.add_argument("--faults", action="store_true",
+                       help="arm the seeded fleet fault storm (transient "
+                            "errors + one mid-migration power-off)")
+    fleet.add_argument("--trace", default=None, metavar="PATH",
+                       help="also write the run's Chrome trace")
+    fleet.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="also dump the metrics registry as JSON here")
+    fleet.add_argument("--prom", default=None, metavar="PATH",
+                       help="also dump Prometheus text-format metrics here")
+    cli_util.add_document_args(fleet, "FLEET", "FLEET", threshold=0.10)
     faults = sub.add_parser(
         "faults",
         help="fault-injection survival report: crash-point sweep + seeded campaign",
@@ -315,18 +330,12 @@ def _run_bench(args) -> int:
     from .bench import regression, suite
     from .obs.export import write_chrome_trace
 
-    if args.compare:
-        baseline = regression.load(args.compare[0])
-        candidate = regression.load(args.compare[1])
-        comparison = regression.compare(baseline, candidate, threshold=args.threshold)
-        print(comparison.report())
-        if comparison.ok or args.warn_only:
-            return 0
-        return 1
+    code = cli_util.run_compare(args, regression.load, regression.compare)
+    if code is not None:
+        return code
 
-    label = args.label or ("smoke" if args.smoke else "full")
+    label, path = cli_util.document_path(args, "BENCH")
     document, trace_result = suite.run_suite(smoke=args.smoke, label=label)
-    path = args.json or f"BENCH_{label}.json"
     regression.save(path, document)
     print(f"wrote bench document to {path} "
           f"(schema {document['schema']}, fingerprint {document['fingerprint']})")
@@ -346,20 +355,14 @@ def _run_bench(args) -> int:
 def _run_perf(args) -> int:
     from . import perf
 
-    if args.compare:
-        baseline = perf.load(args.compare[0])
-        candidate = perf.load(args.compare[1])
-        comparison = perf.compare(baseline, candidate, threshold=args.threshold)
-        print(comparison.report())
-        if comparison.ok or args.warn_only:
-            return 0
-        return 1
+    code = cli_util.run_compare(args, perf.load, perf.compare)
+    if code is not None:
+        return code
 
-    label = args.label or ("smoke" if args.smoke else "full")
+    label, path = cli_util.document_path(args, "PERF")
     document, results = perf.run_suite(
         smoke=args.smoke, label=label, profile=not args.no_profile
     )
-    path = args.json or f"PERF_{label}.json"
     perf.save(path, document)
     print(f"wrote perf document to {path} "
           f"(schema {document['schema']}, fingerprint {document['fingerprint']})")
@@ -374,6 +377,63 @@ def _run_perf(args) -> int:
         for row in document["profile"][:10]:
             print(f"  {row['tottime_s']:>9.4f} s  {row['calls']:>8}  {row['func']}")
     return 0
+
+
+def _run_fleet(args) -> int:
+    from .fleet import FleetConfig, run_fleet
+    from .fleet import report as fleet_report
+    from .obs import hooks as obs_hooks
+    from .obs.export import metrics_json, prometheus_text, write_chrome_trace
+    from .obs.hooks import Instrumentation
+
+    code = cli_util.run_compare(args, fleet_report.load, fleet_report.compare)
+    if code is not None:
+        return code
+
+    overrides = {"faults": args.faults}
+    if args.ticks is not None:
+        overrides["ticks"] = args.ticks
+    if args.budget is not None:
+        overrides["budget_per_tick"] = (
+            None if args.budget <= 0 else int(args.budget * MIB)
+        )
+    if args.trigger is not None:
+        overrides["trigger"] = args.trigger
+    if args.max_jobs is not None:
+        overrides["max_jobs"] = args.max_jobs
+    if args.smoke:
+        config = FleetConfig.smoke(
+            volumes=args.volumes, seed=args.seed, **overrides
+        )
+    else:
+        config = FleetConfig(volumes=args.volumes, seed=args.seed, **overrides)
+
+    armed = bool(args.trace or args.metrics_json or args.prom)
+    if armed:
+        obs = Instrumentation()
+        with obs_hooks.use(obs):
+            report = run_fleet(config)
+    else:
+        report = run_fleet(config)
+
+    print(report.text())
+    _, path = cli_util.document_path(args, "FLEET")
+    document = report.to_dict()
+    fleet_report.save(path, document)
+    print(f"\nwrote fleet document to {path} "
+          f"(schema {document['schema']}, fingerprint {document['fingerprint']})")
+    if args.trace:
+        write_chrome_trace(args.trace, obs.spans, obs.registry)
+        print(f"wrote Chrome trace to {args.trace}")
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            fh.write(metrics_json(obs.registry))
+        print(f"wrote metrics JSON to {args.metrics_json}")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(prometheus_text(obs.registry))
+        print(f"wrote Prometheus metrics to {args.prom}")
+    return 0 if report.budget_ok else 1
 
 
 def _run_faults(args) -> int:
@@ -404,6 +464,8 @@ def main(argv=None) -> int:
         return _run_bench(args)
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "fleet":
+        return _run_fleet(args)
     if args.command == "faults":
         return _run_faults(args)
     if args.command == "list":

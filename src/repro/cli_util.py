@@ -1,0 +1,75 @@
+"""Shared wiring for CLI verbs that persist comparable JSON documents.
+
+``bench``, ``perf``, and ``fleet`` all follow the same contract: run a
+suite, save a schema-tagged document whose fingerprint makes runs
+comparable, and (with ``--compare``) diff two such documents with a
+direction-aware threshold.  The argument set and the compare flow are
+identical across verbs — this module holds them once.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Optional, Tuple
+
+
+def add_document_args(
+    parser: argparse.ArgumentParser,
+    kind: str,
+    prefix: str,
+    threshold: float = 0.10,
+    threshold_help: Optional[str] = None,
+) -> None:
+    """Attach the --label/--json/--compare/--threshold/--warn-only set."""
+    parser.add_argument(
+        "--label", default=None,
+        help="document label (default: 'smoke' or 'full')",
+    )
+    parser.add_argument(
+        "--json", nargs="?", const=None, default=None, metavar="PATH",
+        help=f"write the {kind} document here "
+             f"(default: {prefix}_<label>.json)",
+    )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+        help=f"compare two {kind} documents instead of running; "
+             "exits 1 when a regression exceeds the threshold",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=threshold,
+        help=threshold_help
+        or f"relative regression threshold (default {threshold:.2f})",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but always exit 0",
+    )
+
+
+def document_path(args: argparse.Namespace, prefix: str) -> Tuple[str, str]:
+    """Resolve the (label, output path) pair for a document run."""
+    label = args.label or ("smoke" if getattr(args, "smoke", False) else "full")
+    path = args.json or f"{prefix}_{label}.json"
+    return label, path
+
+
+def run_compare(
+    args: argparse.Namespace,
+    load: Callable[[str], dict],
+    compare: Callable[..., object],
+) -> Optional[int]:
+    """Execute the --compare flow if requested; None means "not asked".
+
+    ``load``/``compare`` are the document module's pair (e.g.
+    ``bench.regression.load``/``compare``); every compare() in this repo
+    returns a Comparison with ``.report()`` and ``.ok``.
+    """
+    if not args.compare:
+        return None
+    baseline = load(args.compare[0])
+    candidate = load(args.compare[1])
+    comparison = compare(baseline, candidate, threshold=args.threshold)
+    print(comparison.report())
+    if comparison.ok or args.warn_only:
+        return 0
+    return 1

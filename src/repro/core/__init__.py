@@ -20,7 +20,7 @@ from .bypass import bypass_range_list
 from .frag_check import range_is_fragmented
 from .migration import Migrator, RetryPolicy
 from .recovery import MigrationJournal, RecoveryReport
-from .fragpicker import FragPicker, FragPickerConfig
+from .fragpicker import FragPicker, FragPickerConfig, MigrationCursor
 from .report import DefragReport
 
 __all__ = [
@@ -38,5 +38,6 @@ __all__ = [
     "RecoveryReport",
     "FragPicker",
     "FragPickerConfig",
+    "MigrationCursor",
     "DefragReport",
 ]

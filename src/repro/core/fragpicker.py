@@ -168,6 +168,27 @@ class FragPicker:
         """The bypass option end-to-end (FragPicker-B in the figures)."""
         return self.defragment(plans=self.bypass_plans(paths), now=now)
 
+    def cursor(
+        self,
+        plans: Optional[Sequence[FileRangeList]] = None,
+        paths: Optional[Iterable[str]] = None,
+        now: float = 0.0,
+    ) -> "MigrationCursor":
+        """Range-at-a-time stepping for external schedulers (repro.fleet).
+
+        Where :meth:`defragment` runs a whole plan to completion, a cursor
+        exposes the same per-range migration loop as discrete steps, so a
+        scheduler can pause between ranges — to charge an I/O budget, to
+        yield the device to foreground traffic, or to resume next tick.
+        Retry/skip semantics per range are identical to :meth:`defragment`.
+        """
+        if plans is None:
+            if paths is None:
+                raise DefragError("cursor needs plans or paths")
+            plans = self.bypass_plans(paths)
+        self._warn_if_seek_device()
+        return MigrationCursor(self, plans, now)
+
     def actor(self, plans: Sequence[FileRangeList], report_out: Optional[DefragReport] = None):
         """Generator for :func:`repro.sim.engine.run_concurrently`.
 
@@ -212,6 +233,10 @@ class FragPicker:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def work_items(self, plans: Sequence[FileRangeList]):
+        """Public iteration order of a plan's (plan, range) migrations."""
+        return self._work_items(plans)
 
     def _work_items(self, plans: Sequence[FileRangeList]):
         for plan in plans:
@@ -356,3 +381,61 @@ class FragPicker:
             if plan.path in self.fs.paths:
                 report.fragments_after[plan.path] = fragment_count(self.fs, plan.path)
         return report
+
+
+class MigrationCursor:
+    """One defrag run, steppable range by range (see :meth:`FragPicker.cursor`).
+
+    The cursor owns the run's :class:`DefragReport`; :meth:`peek` exposes
+    the next range so a scheduler can budget its length before committing,
+    :meth:`migrate_next` performs it (with the picker's retry/skip
+    semantics), and :meth:`finish` closes the report — also callable early
+    to abandon the remainder, e.g. after a crash recovery.
+    """
+
+    def __init__(self, picker: FragPicker, plans: Sequence[FileRangeList], now: float = 0.0) -> None:
+        self.picker = picker
+        self.plans = plans
+        self.report = picker._new_report(plans, now)
+        self._items = picker._work_items(plans)
+        self._head = None
+        self.finished = False
+
+    def peek(self):
+        """The next ``(plan, file_range)`` to migrate, or None when done."""
+        if self._head is None:
+            self._head = next(self._items, None)
+        return self._head
+
+    @property
+    def exhausted(self) -> bool:
+        return self.peek() is None
+
+    def migrate_next(self, now: float) -> float:
+        """Migrate the peeked range; returns the virtual completion time."""
+        item = self.peek()
+        if item is None:
+            return now
+        self._head = None
+        plan, file_range = item
+        obs = self.picker.fs.obs
+        self.report.ranges_examined += 1
+        span = (
+            obs.span_start(
+                "fragpicker.migrate", now,
+                file=plan.path, offset=file_range.start, length=file_range.length,
+            )
+            if obs.enabled else None
+        )
+        for now in self.picker._migrate_one(plan, file_range, self.report, now):
+            pass
+        if span is not None:
+            obs.span_finish(span, now)
+        return now
+
+    def finish(self, now: float) -> DefragReport:
+        """Close (and return) the report; idempotent."""
+        if not self.finished:
+            self.picker._finish_report(self.report, self.plans, now)
+            self.finished = True
+        return self.report

@@ -73,20 +73,32 @@ class FragmentationSampler:
         self.samples_taken = 0
         self.obs = obs_hooks.current()
         self._next_due: Optional[float] = None
-        self._attached = False
+        self._attach_depth = 0
 
     # -- lifecycle -----------------------------------------------------
+    #
+    # attach/detach are re-entrant: callers with overlapping lifetimes
+    # (the fleet controller attaches per defrag job on top of a per-volume
+    # attach) each balance their own attach with a detach, and the device
+    # listener is registered exactly once for as long as any of them holds
+    # the sampler open.  A detach without a matching attach is a no-op.
+
+    @property
+    def attached(self) -> bool:
+        return self._attach_depth > 0
 
     def attach(self) -> "FragmentationSampler":
-        if not self._attached:
+        if self._attach_depth == 0:
             self.fs.device.add_listener(self._on_batch)
-            self._attached = True
+        self._attach_depth += 1
         return self
 
     def detach(self) -> None:
-        if self._attached:
+        if self._attach_depth == 0:
+            return
+        self._attach_depth -= 1
+        if self._attach_depth == 0:
             self.fs.device.remove_listener(self._on_batch)
-            self._attached = False
 
     def __enter__(self) -> "FragmentationSampler":
         return self.attach()

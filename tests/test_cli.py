@@ -108,3 +108,39 @@ def test_every_experiment_registered():
     for spec in EXPERIMENTS.values():
         assert callable(spec["fn"])
         assert spec["help"]
+
+
+def test_fleet_smoke_runs_and_writes_document(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["fleet", "--smoke", "--volumes", "4", "--json"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet SLO report" in out
+    assert "p99" in out
+    doc = json.loads((tmp_path / "FLEET_smoke.json").read_text())
+    assert doc["schema"] == "repro.fleet/v1"
+    assert doc["jobs"]["admitted"] >= 1
+    assert doc["migration"]["budget_ok"] is True
+
+
+def test_fleet_compare_flow(capsys, tmp_path):
+    a = tmp_path / "FLEET_a.json"
+    b = tmp_path / "FLEET_b.json"
+    assert main(["fleet", "--smoke", "--volumes", "4", "--json", str(a)]) == 0
+    assert main(["fleet", "--smoke", "--volumes", "4", "--json", str(b)]) == 0
+    assert a.read_text() == b.read_text()  # byte-reproducible documents
+    assert main(["fleet", "--compare", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "fleet compare" in out
+    assert "0 regression(s)" in out
+
+
+def test_fleet_exports_obs_artifacts(capsys, tmp_path):
+    trace = tmp_path / "fleet_trace.json"
+    prom = tmp_path / "fleet.prom"
+    assert main(["fleet", "--smoke", "--volumes", "4", "--seed", "2",
+                 "--json", str(tmp_path / "f.json"),
+                 "--trace", str(trace), "--prom", str(prom)]) == 0
+    doc = json.loads(trace.read_text())
+    assert any(e["name"] == "fleet.tick" for e in doc["traceEvents"])
+    assert "fleet.volumes_above" in doc["metrics"]
+    assert any(line.startswith("fleet_") for line in prom.read_text().splitlines())

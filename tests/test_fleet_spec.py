@@ -1,0 +1,68 @@
+"""Seed-keyed fleet specs: reproducible, valid, and policy-compliant."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.fleet import FleetConfig, make_volume_specs
+from repro.fleet.spec import DEVICE_MIX, FS_MIX, PROFILES, WORKLOADS
+
+
+def test_same_seed_same_specs():
+    config = FleetConfig(volumes=16, seed=11)
+    assert make_volume_specs(config) == make_volume_specs(config)
+
+
+def test_different_seeds_differ():
+    a = make_volume_specs(FleetConfig(volumes=16, seed=1))
+    b = make_volume_specs(FleetConfig(volumes=16, seed=2))
+    assert a != b
+
+
+def test_specs_are_valid_and_hdd_free():
+    specs = make_volume_specs(FleetConfig(volumes=32, seed=3))
+    assert len(specs) == 32
+    names = {p[0] for p in PROFILES}
+    for spec in specs:
+        assert spec.fs_type in FS_MIX
+        assert spec.device in DEVICE_MIX
+        assert spec.device != "hdd"  # Section 6: no seek-time devices
+        assert spec.profile in names
+        assert spec.workload in WORKLOADS
+        assert 3 <= len(spec.files) <= 5
+        for f in spec.files:
+            assert f.piece <= f.size
+
+
+def test_volume_zero_is_always_heavy():
+    for seed in range(5):
+        specs = make_volume_specs(FleetConfig(volumes=2, seed=seed))
+        assert specs[0].profile == "heavy"
+
+
+def test_prefix_stability_when_growing_the_fleet():
+    # adding volumes never perturbs existing volumes' draws
+    small = make_volume_specs(FleetConfig(volumes=8, seed=5))
+    large = make_volume_specs(FleetConfig(volumes=16, seed=5))
+    assert large[:8] == small
+
+
+@pytest.mark.parametrize("overrides", [
+    {"volumes": -1},
+    {"ticks": 0},
+    {"tick_seconds": 0.0},
+    {"budget_per_tick": 0},
+    {"max_jobs": 0},
+    {"trigger": 0.0},
+    {"fg_ops_per_tick": -1},
+])
+def test_config_validation(overrides):
+    with pytest.raises(InvalidArgument):
+        FleetConfig(**overrides)
+
+
+def test_smoke_config_is_smaller():
+    smoke = FleetConfig.smoke()
+    full = FleetConfig()
+    assert smoke.volumes < full.volumes
+    assert smoke.ticks < full.ticks
+    assert smoke.budget_per_tick < full.budget_per_tick

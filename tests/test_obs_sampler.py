@@ -104,3 +104,49 @@ def test_sampler_rejects_nonpositive_interval():
     fs, _ = _fragmented_fs()
     with pytest.raises(ValueError):
         FragmentationSampler(fs, interval=0.0)
+
+
+def test_attach_is_reentrant_refcounted():
+    fs, _ = _fragmented_fs()
+    sampler = FragmentationSampler(fs, interval=0.001, paths=["/target"])
+    # double attach registers the device listener exactly once
+    sampler.attach()
+    sampler.attach()
+    assert fs.device._listeners.count(sampler._on_batch) == 1
+    assert sampler.attached
+    # the first detach keeps the outer attachment sampling
+    sampler.detach()
+    assert sampler.attached
+    assert fs.device._listeners.count(sampler._on_batch) == 1
+    # only the last detach removes the listener
+    sampler.detach()
+    assert not sampler.attached
+    assert sampler._on_batch not in fs.device._listeners
+
+
+def test_nested_attach_keeps_sampling_until_last_detach():
+    fs, now = _fragmented_fs()
+    sampler = FragmentationSampler(fs, interval=0.001, paths=["/target"])
+    handle = fs.open("/target", o_direct=True)
+    with sampler:            # fleet-wide attachment
+        sampler.attach()     # a job's nested attachment
+        sampler.detach()     # the job finishes...
+        for i in range(8):
+            now = fs.read(handle, i * 128 * KIB, 128 * KIB, now=now).finish_time
+    # ...but the outer attachment kept observing the traffic
+    assert sampler.samples_taken >= 1
+    taken = sampler.samples_taken
+    fs.read(handle, 0, 128 * KIB, now=now)
+    assert sampler.samples_taken == taken
+
+
+def test_detach_without_attach_is_a_noop():
+    fs, _ = _fragmented_fs()
+    sampler = FragmentationSampler(fs, interval=0.001, paths=["/target"])
+    sampler.detach()        # never attached: nothing to do, no error
+    sampler.detach()
+    assert not sampler.attached
+    # and the sampler still works normally afterwards
+    with sampler:
+        assert sampler.attached
+    assert not sampler.attached
