@@ -20,7 +20,13 @@ Usage::
     python -m repro perf --compare PERF_base.json PERF_ci.json
     python -m repro fleet --volumes 64 --seed 7 --json   # defrag-as-a-service
     python -m repro fleet --smoke --volumes 8            # CI smoke fleet
+    python -m repro fleet --smoke --slo                  # + SLO admission gating
     python -m repro fleet --compare FLEET_a.json FLEET_b.json
+    python -m repro slo --smoke --json SLO_ci.json       # SLO engine over a fleet
+    python -m repro slo --compare SLO_clean.json SLO_storm.json
+    python -m repro slo --smoke --prom slo.prom          # budget gauges, Prom text
+    python -m repro watch --smoke --once                 # final dashboard frame
+    python -m repro watch --volumes 16 --every 2         # frame every 2nd tick
 """
 
 from __future__ import annotations
@@ -221,6 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--faults", action="store_true",
                        help="arm the seeded fleet fault storm (transient "
                             "errors + one mid-migration power-off)")
+    fleet.add_argument("--slo", action="store_true",
+                       help="arm the SLO monitor: burn-rate alerting plus "
+                            "admission gating (alerting volumes jump the "
+                            "queue); alerts land in the FLEET report")
+    fleet.add_argument("--latency-slo-ms", type=float, default=None,
+                       metavar="MS",
+                       help="foreground read-latency objective for --slo "
+                            "(default 2.0 ms)")
     fleet.add_argument("--trace", default=None, metavar="PATH",
                        help="also write the run's Chrome trace")
     fleet.add_argument("--metrics-json", default=None, metavar="PATH",
@@ -228,6 +242,55 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--prom", default=None, metavar="PATH",
                        help="also dump Prometheus text-format metrics here")
     cli_util.add_document_args(fleet, "FLEET", "FLEET", threshold=0.10)
+    slo = sub.add_parser(
+        "slo",
+        help="SLO engine over a fleet run: persist SLO_*.json, compare "
+             "runs, export budget gauges as Prometheus text",
+    )
+    slo.add_argument("--volumes", type=int, default=64,
+                     help="fleet size (default 64)")
+    slo.add_argument("--seed", type=int, default=0,
+                     help="fleet seed (same seed => byte-identical document)")
+    slo.add_argument("--smoke", action="store_true",
+                     help="small/fast fleet variant (CI smoke job)")
+    slo.add_argument("--ticks", type=int, default=None,
+                     help="scheduler ticks to run (default: config)")
+    slo.add_argument("--faults", action="store_true",
+                     help="arm the seeded fleet fault storm")
+    slo.add_argument("--latency-slo-ms", type=float, default=None,
+                     metavar="MS",
+                     help="foreground read-latency objective (default 2.0 ms)")
+    slo.add_argument("--spec", default=None, metavar="PATH",
+                     help="JSON file of SLO specs replacing the fleet "
+                          "defaults ({\"slos\": [...]} or a bare list)")
+    slo.add_argument("--prom", default=None, metavar="PATH",
+                     help="also export budget-remaining/compliance gauges "
+                          "as Prometheus text format here")
+    cli_util.add_document_args(slo, "SLO", "SLO", threshold=0.10)
+    watch = sub.add_parser(
+        "watch",
+        help="fleet health dashboard: per-tick frames with SLO burn "
+             "sparklines and firing alerts (plain text, deterministic)",
+    )
+    watch.add_argument("--volumes", type=int, default=16,
+                       help="fleet size (default 16)")
+    watch.add_argument("--seed", type=int, default=0,
+                       help="fleet seed (same seed => byte-identical frames)")
+    watch.add_argument("--smoke", action="store_true",
+                       help="small/fast fleet variant")
+    watch.add_argument("--ticks", type=int, default=None,
+                       help="scheduler ticks to run (default: config)")
+    watch.add_argument("--faults", action="store_true",
+                       help="arm the seeded fleet fault storm")
+    watch.add_argument("--latency-slo-ms", type=float, default=None,
+                       metavar="MS",
+                       help="foreground read-latency objective (default 2.0 ms)")
+    watch.add_argument("--every", type=int, default=1, metavar="N",
+                       help="render every Nth tick (default 1; the final "
+                            "tick always renders)")
+    watch.add_argument("--once", action="store_true",
+                       help="render only the final frame (the CI golden "
+                            "output mode)")
     faults = sub.add_parser(
         "faults",
         help="fault-injection survival report: crash-point sweep + seeded campaign",
@@ -379,8 +442,39 @@ def _run_perf(args) -> int:
     return 0
 
 
+def _fleet_config(args):
+    """Build the FleetConfig a fleet-sourced verb (fleet/slo/watch) asked
+    for; knobs a verb does not expose just fall through to the config."""
+    from .fleet import FleetConfig
+
+    overrides = {"faults": args.faults}
+    if getattr(args, "ticks", None) is not None:
+        overrides["ticks"] = args.ticks
+    if getattr(args, "budget", None) is not None:
+        overrides["budget_per_tick"] = (
+            None if args.budget <= 0 else int(args.budget * MIB)
+        )
+    if getattr(args, "trigger", None) is not None:
+        overrides["trigger"] = args.trigger
+    if getattr(args, "max_jobs", None) is not None:
+        overrides["max_jobs"] = args.max_jobs
+    if args.smoke:
+        return FleetConfig.smoke(
+            volumes=args.volumes, seed=args.seed, **overrides
+        )
+    return FleetConfig(volumes=args.volumes, seed=args.seed, **overrides)
+
+
+def _latency_slo_s(args) -> float:
+    from .fleet.slo import DEFAULT_LATENCY_SLO_S
+
+    if getattr(args, "latency_slo_ms", None) is not None:
+        return args.latency_slo_ms / 1e3
+    return DEFAULT_LATENCY_SLO_S
+
+
 def _run_fleet(args) -> int:
-    from .fleet import FleetConfig, run_fleet
+    from .fleet import FleetSlo, run_fleet
     from .fleet import report as fleet_report
     from .obs import hooks as obs_hooks
     from .obs.export import metrics_json, prometheus_text, write_chrome_trace
@@ -390,31 +484,19 @@ def _run_fleet(args) -> int:
     if code is not None:
         return code
 
-    overrides = {"faults": args.faults}
-    if args.ticks is not None:
-        overrides["ticks"] = args.ticks
-    if args.budget is not None:
-        overrides["budget_per_tick"] = (
-            None if args.budget <= 0 else int(args.budget * MIB)
-        )
-    if args.trigger is not None:
-        overrides["trigger"] = args.trigger
-    if args.max_jobs is not None:
-        overrides["max_jobs"] = args.max_jobs
-    if args.smoke:
-        config = FleetConfig.smoke(
-            volumes=args.volumes, seed=args.seed, **overrides
-        )
-    else:
-        config = FleetConfig(volumes=args.volumes, seed=args.seed, **overrides)
+    config = _fleet_config(args)
+    monitor = (
+        FleetSlo.for_config(config, latency_slo_s=_latency_slo_s(args))
+        if args.slo else None
+    )
 
     armed = bool(args.trace or args.metrics_json or args.prom)
     if armed:
         obs = Instrumentation()
         with obs_hooks.use(obs):
-            report = run_fleet(config)
+            report = run_fleet(config, slo=monitor)
     else:
-        report = run_fleet(config)
+        report = run_fleet(config, slo=monitor)
 
     print(report.text())
     _, path = cli_util.document_path(args, "FLEET")
@@ -434,6 +516,70 @@ def _run_fleet(args) -> int:
             fh.write(prometheus_text(obs.registry))
         print(f"wrote Prometheus metrics to {args.prom}")
     return 0 if report.budget_ok else 1
+
+
+def _run_slo(args) -> int:
+    from .fleet import FleetSlo, run_fleet
+    from .obs import slo as obs_slo
+    from .obs.export import prometheus_text
+
+    code = cli_util.run_compare(args, obs_slo.load, obs_slo.compare)
+    if code is not None:
+        return code
+
+    config = _fleet_config(args)
+    specs = obs_slo.load_specs(args.spec) if args.spec else None
+    monitor = FleetSlo.for_config(
+        config, latency_slo_s=_latency_slo_s(args), specs=specs
+    )
+    run_fleet(config, slo=monitor)
+
+    label, path = cli_util.document_path(args, "SLO")
+    source = {"kind": "fleet", "config": config.to_dict()}
+    document = monitor.document(label, source)
+    obs_slo.validate(document)
+    obs_slo.save(path, document)
+    print(obs_slo.report_text(document))
+    print(f"\nwrote SLO document to {path} "
+          f"(schema {document['schema']}, fingerprint {document['fingerprint']})")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(prometheus_text(obs_slo.prometheus_registry(document)))
+        print(f"wrote Prometheus budget gauges to {args.prom}")
+    return 0
+
+
+def _run_watch(args) -> int:
+    from .fleet import FleetSlo, run_fleet
+    from .obs.dashboard import Frame, render
+
+    config = _fleet_config(args)
+    monitor = FleetSlo.for_config(config, latency_slo_s=_latency_slo_s(args))
+    every = max(1, args.every)
+
+    def on_tick(controller, tick: int, row) -> None:
+        last = tick == config.ticks - 1
+        if args.once and not last:
+            return
+        if not last and tick % every != every - 1:
+            return
+        frame = Frame(
+            tick=tick,
+            ticks_total=config.ticks,
+            now=max((v.now for v in controller.volumes), default=0.0),
+            volumes=len(controller.volumes),
+            rows=controller.report.ticks,
+            slo_summaries=monitor.fleet_summaries(),
+            alerts=monitor.plane.alerts,
+            firing=monitor.firing(),
+            budget_per_tick=config.budget_per_tick,
+        )
+        print(render(frame))
+        if not last:
+            print()
+
+    run_fleet(config, slo=monitor, on_tick=on_tick)
+    return 0
 
 
 def _run_faults(args) -> int:
@@ -466,6 +612,10 @@ def main(argv=None) -> int:
         return _run_perf(args)
     if args.command == "fleet":
         return _run_fleet(args)
+    if args.command == "slo":
+        return _run_slo(args)
+    if args.command == "watch":
+        return _run_watch(args)
     if args.command == "faults":
         return _run_faults(args)
     if args.command == "list":

@@ -13,6 +13,7 @@ from .admission import AdmissionController, TickBudget
 from .controller import FleetController, build_volumes, run_fleet
 from .jobs import DefragJob
 from .report import FleetReport, TickRow, compare, fingerprint, load, percentile, save
+from .slo import FleetSlo
 from .spec import FileSpec, FleetConfig, VolumeSpec, make_volume_specs
 from .volume import Volume
 
@@ -24,6 +25,7 @@ __all__ = [
     "run_fleet",
     "DefragJob",
     "FleetReport",
+    "FleetSlo",
     "TickRow",
     "compare",
     "fingerprint",

@@ -87,6 +87,20 @@ class AdmissionController:
         self.queue.append(name)
         return True
 
+    def promote(self, name: str) -> bool:
+        """Move a queued volume to the queue front (SLO gating).
+
+        A volume whose latency SLO fires a burn alert jumps the FIFO so
+        the next admission pass services it first.  No-op unless the
+        volume is actually queued — gating reorders, it never admits a
+        volume the trigger census did not queue.
+        """
+        if name not in self.queue:
+            return False
+        self.queue.remove(name)
+        self.queue.appendleft(name)
+        return True
+
     def admit(self, make_job: Callable[[str], object]) -> List[object]:
         """Admit queued volumes up to the cap; count the rest deferred."""
         admitted = []

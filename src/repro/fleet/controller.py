@@ -31,23 +31,43 @@ from ..sim.engine import run_concurrently
 from .admission import AdmissionController, TickBudget
 from .jobs import DefragJob, FAILED, RUNNING
 from .report import FleetReport, TickRow, percentile
+from .slo import FleetSlo
 from .spec import FleetConfig, make_volume_specs
 from .volume import Volume
 
 
 class FleetController:
-    """Watches volumes, admits FragPicker jobs, enforces the budget."""
+    """Watches volumes, admits FragPicker jobs, enforces the budget.
 
-    def __init__(self, config: FleetConfig, volumes: List[Volume]) -> None:
+    With an optional :class:`~repro.fleet.slo.FleetSlo` monitor attached
+    (``repro fleet --slo``) every tick also feeds the SLO plane — fg
+    read latencies, budget utilisation, above-trigger fraction — and a
+    volume whose latency SLO fires a burn alert is promoted to the front
+    of the admission queue; alerts land in the report's ``slo`` section.
+    Without a monitor (the default) the run is byte-identical to before.
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        volumes: List[Volume],
+        slo: Optional[FleetSlo] = None,
+    ) -> None:
         self.config = config
         self.volumes = volumes
         self.by_name: Dict[str, Volume] = {v.spec.name: v for v in volumes}
         self.budget = TickBudget(config.budget_per_tick)
         self.admission = AdmissionController(config.max_jobs, self.budget)
+        self.slo = slo
         #: name -> first tick the volume is eligible to trigger again
         self.cooldown_until: Dict[str, int] = {}
+        report_config = config.to_dict()
+        if slo is not None:
+            # gating changes scheduling: stamp it into the fingerprinted
+            # config so gated and ungated documents never read as equals
+            report_config["slo"] = slo.config_dict()
         self.report = FleetReport(
-            config=config.to_dict(), volumes=len(volumes),
+            config=report_config, volumes=len(volumes),
         )
         self._finished_jobs: List[DefragJob] = []
 
@@ -81,6 +101,10 @@ class FleetController:
             job.volume.sampler.attach()
         jobs_running = len(self.admission.running)
         fg_before = sum(v.fg_ops for v in self.volumes)
+        read_counts = (
+            {v.spec.name: len(v.read_latencies) for v in self.volumes}
+            if self.slo is not None else None
+        )
 
         for volume in self.volumes:
             _, window_end = volume.window(tick)
@@ -123,21 +147,40 @@ class FleetController:
         )
         self.report.ticks.append(row)
         self._mirror_tick(row)
+        if self.slo is not None:
+            latencies = {
+                v.spec.name: v.read_latencies[read_counts[v.spec.name]:]
+                for v in self.volumes
+            }
+            _, promote = self.slo.record_tick(
+                tick, row, latencies, len(self.volumes)
+            )
+            for name in promote:
+                if self.admission.promote(name):
+                    self.slo.record_promotion(tick, name)
         return row
 
     # -- the whole run -------------------------------------------------
 
-    def run(self) -> FleetReport:
+    def begin(self) -> None:
+        """Initial census + trigger pass (before the first tick)."""
         levels = self.census()
         self.report.volumes_above_start = sum(
             1 for level in levels.values() if level > self.config.trigger
         )
         self._queue_triggered(levels, tick=0)
-        for tick in range(self.config.ticks):
-            self.run_tick(tick)
+
+    def finish(self) -> FleetReport:
+        """Close the budget window and finalise the report."""
         self.budget.close()
         self._finalize()
         return self.report
+
+    def run(self) -> FleetReport:
+        self.begin()
+        for tick in range(self.config.ticks):
+            self.run_tick(tick)
+        return self.finish()
 
     def _finalize(self) -> None:
         report = self.report
@@ -177,6 +220,8 @@ class FleetController:
         report.fg_read_max_s = max(latencies, default=0.0)
         if report.ticks:
             report.volumes_above_end = report.ticks[-1].volumes_above
+        if self.slo is not None:
+            report.slo = self.slo.report_section()
         self._mirror_summary(latencies)
 
     # -- observability mirroring ---------------------------------------
@@ -225,7 +270,11 @@ def build_volumes(config: FleetConfig) -> List[Volume]:
     return [Volume(spec, config) for spec in make_volume_specs(config)]
 
 
-def run_fleet(config: FleetConfig) -> FleetReport:
+def run_fleet(
+    config: FleetConfig,
+    slo: Optional[FleetSlo] = None,
+    on_tick=None,
+) -> FleetReport:
     """Build the fleet, run the scheduler, return the SLO report.
 
     With ``config.faults`` set, the seeded fleet storm from
@@ -233,23 +282,38 @@ def run_fleet(config: FleetConfig) -> FleetReport:
     construction (layers capture the plane then) but activated only
     after setup, so faults hit the run — including one mid-migration
     power-off that must recover through the journal — never the build.
+
+    ``slo`` attaches a :class:`~repro.fleet.slo.FleetSlo` monitor (burn
+    alerts + admission gating); ``on_tick(controller, tick, row)`` is
+    called after every tick — the ``repro watch`` dashboard's frame
+    hook.
     """
     if not config.faults:
-        return _run(config)
+        return _run(config, slo=slo, on_tick=on_tick)
     plane = FaultPlane(config.fault_plan())
     with fault_hooks.use(plane):
-        return _run(config, plane)
+        return _run(config, plane, slo=slo, on_tick=on_tick)
 
 
-def _run(config: FleetConfig, plane: Optional[FaultPlane] = None) -> FleetReport:
+def _run(
+    config: FleetConfig,
+    plane: Optional[FaultPlane] = None,
+    slo: Optional[FleetSlo] = None,
+    on_tick=None,
+) -> FleetReport:
     volumes = build_volumes(config)
     for volume in volumes:
         volume.sampler.attach()
     if plane is not None:
         plane.activate()
     try:
-        controller = FleetController(config, volumes)
-        return controller.run()
+        controller = FleetController(config, volumes, slo=slo)
+        controller.begin()
+        for tick in range(config.ticks):
+            row = controller.run_tick(tick)
+            if on_tick is not None:
+                on_tick(controller, tick, row)
+        return controller.finish()
     finally:
         if plane is not None:
             plane.deactivate()

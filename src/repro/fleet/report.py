@@ -102,6 +102,9 @@ class FleetReport:
     # fragmentation census
     volumes_above_start: int = 0
     volumes_above_end: int = 0
+    # SLO monitor section (only when gating is armed; absent keeps old
+    # documents byte-identical)
+    slo: Optional[Dict[str, object]] = None
 
     # -- budget compliance ---------------------------------------------
 
@@ -159,6 +162,8 @@ class FleetReport:
                 "ticks": [row.to_dict() for row in self.ticks],
             },
         }
+        if self.slo is not None:
+            doc["slo"] = self.slo
         doc["fingerprint"] = fingerprint(doc)
         return doc
 
@@ -211,9 +216,27 @@ class FleetReport:
             "",
             f"fragmentation  : {self.volumes_above_start} volumes above trigger "
             f"at start -> {self.volumes_above_end} at end",
+        ]
+        if self.slo is not None:
+            alerts = self.slo.get("alerts", [])
+            promotions = self.slo.get("promotions", [])
+            lines.append(
+                f"SLO gating     : latency objective "
+                f"{float(self.slo.get('latency_slo_s', 0.0)) * 1e3:.3f} ms, "
+                f"{len(alerts)} burn alerts "
+                f"({self.slo.get('volume_alerts', 0)} per-volume), "
+                f"{len(promotions)} queue promotions"
+            )
+            for name, summary in sorted(self.slo.get("slos", {}).items()):
+                lines.append(
+                    f"  {name:<13}: compliance {summary.get('compliance', 0.0):.4f}, "
+                    f"budget left {summary.get('budget_remaining', 0.0) * 100:.1f}%, "
+                    f"{summary.get('alerts', 0)} alerts"
+                )
+        lines.extend([
             "",
             "  tick  above  migrated(MiB)  running  admitted  waiting  fg_ops",
-        ]
+        ])
         for row in self.ticks:
             lines.append(
                 f"  {row.tick:>4}  {row.volumes_above:>5}  "

@@ -150,6 +150,56 @@ def metrics_table(registry: MetricsRegistry) -> str:
 
 _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
+#: central metric documentation: exact name (or trailing-'*' prefix) ->
+#: the ``# HELP`` line Prometheus exports carry.  One table instead of
+#: per-call-site strings, so the same metric renders the same HELP
+#: everywhere it is exported.
+METRIC_HELP: Dict[str, str] = {
+    "block.split_fanout": "device commands produced per block request",
+    "frag.extents_per_file": "mean extent count over tracked files",
+    "frag.max_extents": "extent count of the worst tracked file",
+    "frag.contiguity": "mean per-file 1/extents (1.0 = fully contiguous)",
+    "frag.free_runs": "free-space runs (free-space fragmentation)",
+    "frag.largest_free_mb": "largest contiguous free run in MiB",
+    "fleet.volumes_above": "volumes above the defrag trigger",
+    "fleet.jobs_running": "defrag jobs currently running",
+    "fleet.jobs_waiting": "triggered volumes waiting for admission",
+    "fleet.jobs_admitted": "defrag jobs admitted over the run",
+    "fleet.jobs_completed": "defrag jobs completed over the run",
+    "fleet.jobs_failed": "defrag jobs failed over the run",
+    "fleet.jobs_deferred_ticks": "volume-ticks spent queued behind the cap",
+    "fleet.migrated_bytes": "migration payload bytes moved",
+    "fleet.fg_ops": "foreground operations completed",
+    "fleet.fg_read_latency_s": "foreground read latency in seconds",
+    "slo.breaches": "SLO windows whose bad fraction exceeded the budget",
+    "slo.alerts": "multi-window burn-rate alerts fired",
+    # '*' patterns (exact names above win over these)
+    "fs.syscall.*": "filesystem syscalls issued, by operation",
+    "fs.syscall_latency.*": "per-syscall latency in virtual seconds",
+    "device.*.busy_until": "virtual time this device model is busy until",
+    "device.*.batch_commands": "commands per dispatched device batch",
+    "slo.*.burn_fast": "fast-window burn rate of one SLO",
+    "slo.*.burn_slow": "slow-window burn rate of one SLO",
+    "slo.*.budget_remaining": "unspent error-budget fraction of one SLO",
+    "slo.*.compliance": "good-sample fraction of one SLO",
+    "slo.*.breaches": "budget-exceeding windows of one SLO",
+    "slo.*.alerts": "burn-rate alerts of one SLO",
+}
+
+
+def metric_help(name: str) -> Optional[str]:
+    """The HELP text for a metric: exact match, then ``*`` patterns."""
+    if name in METRIC_HELP:
+        return METRIC_HELP[name]
+    for pattern, text in METRIC_HELP.items():
+        if "*" not in pattern:
+            continue
+        prefix, _, suffix = pattern.partition("*")
+        if (name.startswith(prefix) and name.endswith(suffix)
+                and len(name) > len(prefix) + len(suffix)):
+            return text
+    return None
+
 
 def _prom_name(name: str) -> str:
     """Metric name in Prometheus' charset (dots and dashes become '_')."""
@@ -172,24 +222,37 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     Counters and gauges export their value directly (gauges additionally
     export their remembered peak as ``<name>_peak``); histograms export
     the standard ``_bucket`` (cumulative, with ``le`` labels and the
-    ``+Inf`` catch-all), ``_sum`` and ``_count`` series.  Output is
-    name-sorted, so two runs producing the same metrics render
+    ``+Inf`` catch-all), ``_sum`` and ``_count`` series.  Metrics listed
+    in :data:`METRIC_HELP` get a ``# HELP`` line ahead of ``# TYPE``.
+    Output is name-sorted, so two runs producing the same metrics render
     byte-identically regardless of metric creation order.
     """
     lines: List[str] = []
+
+    def describe(name: str, source: str) -> None:
+        text = metric_help(source)
+        if text is not None:
+            lines.append(f"# HELP {name} {text}")
+
     for metric in sorted(registry.metrics(), key=lambda m: m.name):
         entry = metric.to_dict()
         name = _prom_name(metric.name)
         kind = entry["kind"]
         if kind == "counter":
+            describe(name, metric.name)
             lines.append(f"# TYPE {name} counter")
             lines.append(f"{name} {_prom_value(entry['value'])}")
         elif kind == "gauge":
+            describe(name, metric.name)
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {_prom_value(entry['value'])}")
+            help_text = metric_help(metric.name)
+            if help_text is not None:
+                lines.append(f"# HELP {name}_peak peak of: {help_text}")
             lines.append(f"# TYPE {name}_peak gauge")
             lines.append(f"{name}_peak {_prom_value(entry['peak'])}")
         else:
+            describe(name, metric.name)
             lines.append(f"# TYPE {name} histogram")
             cumulative = 0
             for bound, count in zip(entry["bounds"], entry["bucket_counts"]):

@@ -92,6 +92,13 @@ class Instrumentation:
     syscall→request→command edges into the event ring
     (:mod:`repro.obs.provenance`).  Disarmed (the default), no ids are
     minted and commands carry ``pid=0``.
+
+    ``slo=`` attaches an :class:`~repro.obs.slo.SloPlane`: producers that
+    feed windowed telemetry (the fragmentation sampler, the fleet
+    controller, post-hoc harness evaluation) guard with
+    ``if obs.slo is not None`` *inside* their ``obs.enabled`` branch —
+    the same boolean-sentinel fast path as the obs/fault planes, so with
+    no plane attached (the default) nothing changes on any path.
     """
 
     enabled = True
@@ -103,6 +110,7 @@ class Instrumentation:
         max_spans: Optional[int] = None,
         max_events: Optional[int] = None,
         provenance: bool = False,
+        slo=None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         if spans is not None:
@@ -117,6 +125,10 @@ class Instrumentation:
         self.provenance: Optional[ProvenanceRecorder] = (
             ProvenanceRecorder(self.spans) if provenance else None
         )
+        #: optional SLO plane (repro.obs.slo); None = no windowed judging
+        self.slo = slo
+        if slo is not None:
+            slo.bind(self)
         # get-or-create caches so hot hooks skip name formatting when possible
         self._syscall: Dict[str, Tuple[Counter, Histogram]] = {}
         self._device: Dict[Tuple[str, str], Histogram] = {}
@@ -275,6 +287,7 @@ class NullInstrumentation:
     registry = None
     spans = None
     provenance = None
+    slo = None
 
     def syscall(self, op: str, latency: float) -> None:
         pass
@@ -351,11 +364,12 @@ def enable(
     max_spans: Optional[int] = None,
     max_events: Optional[int] = None,
     provenance: bool = False,
+    slo=None,
 ) -> Instrumentation:
     """Install (and return) a live instrumentation."""
     instrumentation = Instrumentation(
         registry, spans, max_spans=max_spans, max_events=max_events,
-        provenance=provenance,
+        provenance=provenance, slo=slo,
     )
     install(instrumentation)
     return instrumentation

@@ -113,9 +113,25 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Estimated q-quantile (q in [0, 1])."""
+        """Estimated q-quantile (q clamped into [0, 1]).
+
+        Edge cases are pinned, always finite: an empty histogram reports
+        0.0 for every q; ``q <= 0`` reports the lower edge of the first
+        occupied bucket; ``q >= 1`` reports the exact observed maximum.
+        When every observation landed in the overflow bucket (beyond the
+        last bound), interior quantiles interpolate between the last
+        bound and the observed maximum — never +Inf.
+        """
         if self.count == 0:
             return 0.0
+        if q <= 0.0:
+            for i, bucket_count in enumerate(self.counts):
+                if bucket_count:
+                    low = self.bounds[i - 1] if i > 0 else 0.0
+                    return min(low, self.max_value)
+            return 0.0
+        if q >= 1.0:
+            return self.max_value
         rank = q * self.count
         seen = 0
         for i, bucket_count in enumerate(self.counts):

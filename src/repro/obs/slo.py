@@ -1,0 +1,576 @@
+"""Declarative SLOs, error budgets, and multi-window burn-rate alerting.
+
+The judgment layer on top of the telemetry plane: a :class:`SloSpec`
+names an objective ("95% of foreground reads finish within 2 ms"), an
+evaluator rolls a :class:`~repro.obs.timeseries.WindowedSeries` into
+per-window compliance, error-budget consumption, and fast/slow burn
+rates (the SRE multi-window alerting shape), and a :class:`SloPlane`
+bundles the store plus one evaluator per spec behind a single
+``observe``/``evaluate_through`` surface the fleet controller, the bench
+harness, and the ``repro slo`` CLI all share.
+
+Everything is virtual-time-deterministic: the same telemetry points
+produce the same windows, the same burn rates, the same alerts — so the
+``repro.slo/v1`` document this module builds is byte-reproducible per
+seed, fingerprinted, and comparable with the bench pipeline's
+direction-aware :class:`~repro.bench.regression.Comparison` machinery
+(compliance or budget going *down* is a regression, breaches or burn
+going *up* is a regression).
+
+Definitions (per spec):
+
+- a sample is **bad** when it violates the objective
+  (``value > threshold`` for ``objective="le"``, ``value < threshold``
+  for ``"ge"``);
+- a window **breaches** when its bad fraction exceeds the error budget
+  ``1 - target`` (the window alone would miss the SLO);
+- the window's **burn rate** is ``bad_fraction / (1 - target)`` — 1.0
+  means spending budget exactly as fast as the target allows;
+- an **alert** fires when the mean burn over the last ``fast_windows``
+  windows reaches ``fast_burn`` *and* the mean over the last
+  ``slow_windows`` windows reaches ``slow_burn`` (fast catches the
+  spike, slow confirms it is not noise).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .timeseries import MAX_VALUES, MAX_WINDOWS, TimeSeriesStore
+
+#: document schema tag; bump on incompatible layout changes
+SCHEMA = "repro.slo/v1"
+
+#: objective directions: good when value <= / >= threshold
+OBJECTIVES = ("le", "ge")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective over one telemetry series."""
+
+    name: str
+    #: series name in the telemetry store this objective watches
+    metric: str
+    #: objective boundary a sample is judged against
+    threshold: float
+    #: "le": samples are good when value <= threshold; "ge": when >=
+    objective: str = "le"
+    #: compliance target over the run (error budget = 1 - target)
+    target: float = 0.95
+    #: burn-rate alerting windows (fast spike + slow confirmation)
+    fast_windows: int = 1
+    slow_windows: int = 4
+    fast_burn: float = 4.0
+    slow_burn: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise ValueError(f"objective must be one of {OBJECTIVES}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if self.fast_windows < 1 or self.slow_windows < 1:
+            raise ValueError("burn windows must be >= 1")
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ValueError("burn thresholds must be positive")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: tolerated bad fraction over the run."""
+        return 1.0 - self.target
+
+    def bad(self, value: float) -> bool:
+        if self.objective == "le":
+            return value > self.threshold
+        return value < self.threshold
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "objective": self.objective,
+            "target": self.target,
+            "fast_windows": self.fast_windows,
+            "slow_windows": self.slow_windows,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+        }
+
+    @classmethod
+    def from_dict(cls, entry: Dict[str, object]) -> "SloSpec":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(entry) - known
+        if unknown:
+            raise ValueError(f"unknown SLO spec keys: {sorted(unknown)}")
+        return cls(**entry)  # type: ignore[arg-type]
+
+
+def load_specs(path: str) -> List[SloSpec]:
+    """Read a spec file: either ``{"slos": [...]}`` or a bare JSON list."""
+    with open(path) as fh:
+        raw = json.load(fh)
+    entries = raw.get("slos") if isinstance(raw, dict) else raw
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path}: expected a non-empty list of SLO specs")
+    return [SloSpec.from_dict(entry) for entry in entries]
+
+
+class WindowVerdict:
+    """One evaluated window of one SLO."""
+
+    __slots__ = ("index", "samples", "bad", "burn", "fast", "slow",
+                 "breach", "alert")
+
+    def __init__(self, index: int, samples: int, bad: int, burn: float,
+                 fast: float, slow: float, breach: bool, alert: bool) -> None:
+        self.index = index
+        self.samples = samples
+        self.bad = bad
+        self.burn = burn
+        self.fast = fast
+        self.slow = slow
+        self.breach = breach
+        self.alert = alert
+
+
+class SloEvaluator:
+    """Rolls one series' windows into budget consumption and burn rates."""
+
+    def __init__(self, spec: SloSpec) -> None:
+        self.spec = spec
+        self.windows = 0
+        self.samples = 0
+        self.bad_samples = 0
+        self.breaches = 0
+        self.alerts = 0
+        #: per-window burn rates, evaluation order
+        self.burn_history: List[float] = []
+        self.max_fast = 0.0
+        self.max_slow = 0.0
+        self.verdicts: List[WindowVerdict] = []
+
+    def evaluate_window(self, index: int, values: Sequence[float]) -> WindowVerdict:
+        spec = self.spec
+        samples = len(values)
+        bad = sum(1 for value in values if spec.bad(value))
+        burn = (bad / samples) / spec.budget if samples else 0.0
+        self.burn_history.append(burn)
+        fast_tail = self.burn_history[-spec.fast_windows:]
+        slow_tail = self.burn_history[-spec.slow_windows:]
+        fast = sum(fast_tail) / len(fast_tail)
+        slow = sum(slow_tail) / len(slow_tail)
+        breach = samples > 0 and (bad / samples) > spec.budget
+        alert = fast >= spec.fast_burn and slow >= spec.slow_burn
+        self.windows += 1
+        self.samples += samples
+        self.bad_samples += bad
+        if breach:
+            self.breaches += 1
+        if alert:
+            self.alerts += 1
+        if fast > self.max_fast:
+            self.max_fast = fast
+        if slow > self.max_slow:
+            self.max_slow = slow
+        verdict = WindowVerdict(index, samples, bad, burn, fast, slow,
+                                breach, alert)
+        self.verdicts.append(verdict)
+        return verdict
+
+    # -- whole-run views -----------------------------------------------
+
+    @property
+    def compliance(self) -> float:
+        """Good fraction over every evaluated sample (1.0 when idle)."""
+        if not self.samples:
+            return 1.0
+        return 1.0 - self.bad_samples / self.samples
+
+    @property
+    def budget_consumed(self) -> float:
+        """Error budget spent: 1.0 = the whole run's budget is gone."""
+        if not self.samples:
+            return 0.0
+        return (self.bad_samples / self.samples) / self.spec.budget
+
+    @property
+    def budget_remaining(self) -> float:
+        """Unspent budget fraction (negative once overspent)."""
+        return 1.0 - self.budget_consumed
+
+    def burn_series(self) -> List[float]:
+        return list(self.burn_history)
+
+    def summary(self) -> Dict[str, object]:
+        last = self.verdicts[-1] if self.verdicts else None
+        return {
+            "metric": self.spec.metric,
+            "objective": self.spec.objective,
+            "threshold": self.spec.threshold,
+            "target": self.spec.target,
+            "windows": self.windows,
+            "samples": self.samples,
+            "bad_samples": self.bad_samples,
+            "compliance": self.compliance,
+            "budget_consumed": self.budget_consumed,
+            "budget_remaining": self.budget_remaining,
+            "breaches": self.breaches,
+            "alerts": self.alerts,
+            "max_fast_burn": self.max_fast,
+            "max_slow_burn": self.max_slow,
+            "last_fast_burn": last.fast if last else 0.0,
+            "last_slow_burn": last.slow if last else 0.0,
+            "burn": self.burn_series(),
+        }
+
+
+class SloPlane:
+    """Telemetry store + one evaluator per spec, behind a single surface.
+
+    Null-by-default at the :class:`~repro.obs.hooks.Instrumentation`
+    level: an instrumentation built without ``slo=`` keeps ``slo=None``
+    and every producer guards with ``if obs.slo is not None`` *inside*
+    its ``obs.enabled`` branch, so the null plane stays untouched.
+
+    When the plane is carried by an armed instrumentation it mirrors
+    verdicts outward: ``slo.breach`` / ``slo.burn`` events into the
+    shared ring, plus ``slo.<name>.burn_fast`` / ``slo.<name>.
+    budget_remaining`` gauges and ``slo.breaches`` / ``slo.alerts``
+    counters in the registry.  Evaluation itself never reads the clock
+    or the registry, so documents stay byte-identical with or without
+    an armed instrumentation.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SloSpec],
+        window: float,
+        origin: float = 0.0,
+        max_windows: int = MAX_WINDOWS,
+        max_values: int = MAX_VALUES,
+    ) -> None:
+        self.specs = list(specs)
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate SLO spec names")
+        self.store = TimeSeriesStore(
+            window, origin, max_windows=max_windows, max_values=max_values,
+        )
+        self.evaluators: Dict[str, SloEvaluator] = {
+            spec.name: SloEvaluator(spec) for spec in self.specs
+        }
+        #: alert rows, evaluation order: the document's ``alerts`` table
+        self.alerts: List[Dict[str, object]] = []
+        self._evaluated_through: Dict[str, int] = {}
+        self._obs = None
+
+    # -- instrumentation binding ---------------------------------------
+
+    def bind(self, obs) -> None:
+        """Attach the carrying instrumentation (event/gauge mirroring)."""
+        self._obs = obs
+
+    # -- ingest --------------------------------------------------------
+
+    @property
+    def window(self) -> float:
+        return self.store.width
+
+    def observe(self, metric: str, now: float, value: float) -> None:
+        self.store.observe(metric, now, value)
+
+    def observe_at(self, metric: str, index: int, value: float) -> None:
+        self.store.observe_at(metric, index, value)
+
+    # -- evaluation ----------------------------------------------------
+
+    def evaluate_through(self, index: int) -> List[Dict[str, object]]:
+        """Evaluate every spec's unevaluated windows up to ``index``.
+
+        Returns the alert rows fired by this pass (also appended to
+        ``self.alerts``).  Windows with no samples still evaluate — an
+        idle window burns no budget but advances the slow-burn tail.
+        """
+        fired: List[Dict[str, object]] = []
+        for spec in self.specs:
+            evaluator = self.evaluators[spec.name]
+            series = self.store.series(spec.metric)
+            start = self._evaluated_through.get(spec.name, -1) + 1
+            for idx in range(start, index + 1):
+                agg = series.window(idx)
+                values = agg.values if agg is not None else ()
+                verdict = evaluator.evaluate_window(idx, values)
+                self._mirror(spec, evaluator, series, verdict)
+                if verdict.alert:
+                    row = {
+                        "slo": spec.name,
+                        "window": idx,
+                        "time_s": series.window_end(idx),
+                        "fast_burn": verdict.fast,
+                        "slow_burn": verdict.slow,
+                        "bad": verdict.bad,
+                        "samples": verdict.samples,
+                    }
+                    self.alerts.append(row)
+                    fired.append(row)
+            self._evaluated_through[spec.name] = max(
+                index, self._evaluated_through.get(spec.name, -1)
+            )
+        return fired
+
+    def evaluate_all(self) -> List[Dict[str, object]]:
+        """Evaluate every window any watched series has data for."""
+        last = -1
+        for spec in self.specs:
+            if spec.metric in self.store:
+                indexes = self.store.series(spec.metric).indexes()
+                if indexes:
+                    last = max(last, indexes[-1])
+        if last < 0:
+            return []
+        return self.evaluate_through(last)
+
+    def _mirror(self, spec, evaluator, series, verdict) -> None:
+        obs = self._obs
+        if obs is None or not obs.enabled:
+            return
+        now = series.window_end(verdict.index)
+        registry = obs.registry
+        registry.gauge(f"slo.{spec.name}.burn_fast").set(verdict.fast)
+        registry.gauge(f"slo.{spec.name}.burn_slow").set(verdict.slow)
+        registry.gauge(f"slo.{spec.name}.budget_remaining").set(
+            evaluator.budget_remaining
+        )
+        if verdict.breach:
+            registry.counter("slo.breaches").inc()
+            obs.event(
+                "slo.breach", now, track="slo", slo=spec.name,
+                window=verdict.index, bad=verdict.bad,
+                samples=verdict.samples, burn=verdict.burn,
+            )
+        if verdict.alert:
+            registry.counter("slo.alerts").inc()
+            obs.event(
+                "slo.burn", now, track="slo", slo=spec.name,
+                window=verdict.index, fast=verdict.fast, slow=verdict.slow,
+            )
+
+    # -- whole-run views -----------------------------------------------
+
+    def evaluator(self, name: str) -> SloEvaluator:
+        return self.evaluators[name]
+
+    def summaries(self) -> Dict[str, Dict[str, object]]:
+        return {
+            spec.name: self.evaluators[spec.name].summary()
+            for spec in self.specs
+        }
+
+    def firing(self) -> List[str]:
+        """Spec names whose *latest* evaluated window is alerting."""
+        names = []
+        for spec in self.specs:
+            verdicts = self.evaluators[spec.name].verdicts
+            if verdicts and verdicts[-1].alert:
+                names.append(spec.name)
+        return names
+
+
+# ----------------------------------------------------------------------
+# the repro.slo/v1 document
+# ----------------------------------------------------------------------
+
+def fingerprint(document: Dict[str, object]) -> str:
+    """sha256 over the canonical document (fingerprint field excluded)."""
+    body = {k: v for k, v in document.items() if k != "fingerprint"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def build_document(
+    label: str,
+    source: Dict[str, object],
+    plane: SloPlane,
+) -> Dict[str, object]:
+    """Assemble (and fingerprint) one ``repro.slo/v1`` document.
+
+    ``source`` names what produced the telemetry — e.g.
+    ``{"kind": "fleet", "config": {...}}`` — so two documents are only
+    meaningfully compared when their sources match.
+    """
+    doc: Dict[str, object] = {
+        "schema": SCHEMA,
+        "label": label,
+        "source": dict(source),
+        "window_s": plane.window,
+        "specs": [spec.to_dict() for spec in plane.specs],
+        "slos": plane.summaries(),
+        "alerts": list(plane.alerts),
+    }
+    doc["fingerprint"] = fingerprint(doc)
+    return doc
+
+
+def save(path: str, document: Dict[str, object]) -> None:
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        document = json.load(fh)
+    schema = document.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported slo schema {schema!r} (want {SCHEMA!r})"
+        )
+    return document
+
+
+def validate(document: Dict[str, object]) -> None:
+    """Structural sanity of a loaded document (raises on violations)."""
+    if document.get("schema") != SCHEMA:
+        raise ValueError(f"bad schema: {document.get('schema')!r}")
+    if document.get("fingerprint") != fingerprint(document):
+        raise ValueError("fingerprint does not match document body")
+    slos = document.get("slos", {})
+    if not isinstance(slos, dict) or not slos:
+        raise ValueError("document has no slos")
+    for name, summary in slos.items():
+        consumed = summary["budget_consumed"]
+        remaining = summary["budget_remaining"]
+        if abs((consumed + remaining) - 1.0) > 1e-9:
+            raise ValueError(f"{name}: budget does not sum to 1.0")
+        if summary["alerts"] > summary["windows"]:
+            raise ValueError(f"{name}: more alerts than windows")
+
+
+# ----------------------------------------------------------------------
+# rendering + Prometheus export
+# ----------------------------------------------------------------------
+
+def report_text(document: Dict[str, object]) -> str:
+    """Plain-text report of one SLO document."""
+    lines = [
+        "SLO report",
+        "=" * 10,
+        "",
+        f"source  : {document['source'].get('kind', '?')}, "
+        f"window {document['window_s']}s, label {document['label']}",
+        "",
+        "  slo                       objective                           "
+        "  compliance   target  budget-left  breaches  alerts  max-burn f/s",
+    ]
+    for name in sorted(document["slos"]):
+        summary = document["slos"][name]
+        objective = (
+            f"{summary['metric']} {summary['objective']} "
+            f"{summary['threshold']:g}"
+        )
+        lines.append(
+            f"  {name:<24}  {objective:<36}  {summary['compliance']:>8.2%}"
+            f"  {summary['target']:>6.0%}  {summary['budget_remaining']:>+10.2%}"
+            f"  {summary['breaches']:>8}  {summary['alerts']:>6}"
+            f"  {summary['max_fast_burn']:.2f}/{summary['max_slow_burn']:.2f}"
+        )
+    alerts = document["alerts"]
+    lines.append("")
+    if alerts:
+        lines.append(f"  {len(alerts)} burn-rate alert(s):")
+        for row in alerts:
+            lines.append(
+                f"    [window {row['window']:>3} @ {row['time_s']:.2f}s] "
+                f"{row['slo']}: fast {row['fast_burn']:.2f} / "
+                f"slow {row['slow_burn']:.2f} "
+                f"({row['bad']}/{row['samples']} bad)"
+            )
+    else:
+        lines.append("  no burn-rate alerts fired")
+    lines.append("")
+    lines.append(f"fingerprint: {document['fingerprint']}")
+    return "\n".join(lines)
+
+
+def prometheus_registry(document: Dict[str, object]):
+    """Budget/burn gauges of a document, as an exportable registry.
+
+    Feed the result to :func:`repro.obs.export.prometheus_text` to get
+    the byte-deterministic text-format rendering (``repro slo --prom``).
+    """
+    from .metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for name in sorted(document["slos"]):
+        summary = document["slos"][name]
+        registry.gauge(f"slo.{name}.budget_remaining").set(
+            summary["budget_remaining"]
+        )
+        registry.gauge(f"slo.{name}.compliance").set(summary["compliance"])
+        registry.counter(f"slo.{name}.breaches").inc(summary["breaches"])
+        registry.counter(f"slo.{name}.alerts").inc(summary["alerts"])
+    return registry
+
+
+# ----------------------------------------------------------------------
+# direction-aware comparison (reuses the bench pipeline's machinery)
+# ----------------------------------------------------------------------
+
+#: compared per-SLO metrics: name -> higher_is_better
+_COMPARED = {
+    "compliance": True,
+    "budget_remaining": True,
+    "breaches": False,
+    "alerts": False,
+    "max_fast_burn": False,
+    "max_slow_burn": False,
+}
+
+
+def compare(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    threshold: float = 0.10,
+):
+    """Direction-aware comparison of two SLO documents."""
+    from ..bench.regression import Comparison, Finding
+
+    comparison = Comparison(
+        baseline_label=str(baseline.get("label", "?")),
+        candidate_label=str(candidate.get("label", "?")),
+        threshold=threshold,
+        kind="slo",
+    )
+    if baseline.get("source") != candidate.get("source"):
+        comparison.warnings.append(
+            "sources differ: the documents describe different runs"
+        )
+    base_slos = baseline.get("slos", {})
+    cand_slos = candidate.get("slos", {})
+    for name in sorted(base_slos):
+        if name not in cand_slos:
+            comparison.warnings.append(f"slo {name!r} missing from candidate")
+            continue
+        for metric, higher_is_better in _COMPARED.items():
+            base = float(base_slos[name][metric])
+            cand = float(cand_slos[name][metric])
+            if max(abs(base), abs(cand)) < 1e-12:
+                continue
+            if abs(base) < 1e-12:
+                change = 1.0
+            else:
+                change = (cand - base) / abs(base)
+            if higher_is_better:
+                regression = change <= -threshold
+            else:
+                regression = change >= threshold
+            comparison.findings.append(Finding(
+                figure="slo", variant=name, metric=metric,
+                baseline=base, candidate=cand, change=change,
+                regression=regression,
+            ))
+    return comparison

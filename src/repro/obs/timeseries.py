@@ -1,0 +1,236 @@
+"""Windowed telemetry time-series over the virtual clock.
+
+The metrics registry answers *totals* ("how many syscalls, ever?"); the
+SLO engine needs *windows* ("what fraction of this tick's reads were
+slow?").  This module rolls raw telemetry points into fixed-width windows
+keyed to virtual time, so rates, deltas, and percentiles are well-defined
+per window and two runs producing the same points always produce the
+same rollups — the byte-reproducibility the SLO documents inherit.
+
+Retention is bounded the same way the event ring is: a series keeps at
+most ``max_windows`` windows (oldest evicted, counted in
+``dropped_windows``) and at most ``max_values`` raw values per window for
+percentile queries (extra values still update count/sum/min/max, the
+tail is counted in ``dropped_values``).  Nothing is ever lost silently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: default retention: windows per series / raw values per window
+MAX_WINDOWS = 1024
+MAX_VALUES = 4096
+
+
+def nearest_rank(ordered: List[float], q: float) -> float:
+    """Deterministic nearest-rank percentile over a *sorted* list."""
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(min(max(q, 0.0), 1.0) * len(ordered)))
+    return ordered[rank - 1]
+
+
+class WindowAgg:
+    """One window's rollup: count/sum/min/max/last plus retained values."""
+
+    __slots__ = ("index", "count", "total", "min", "max", "last",
+                 "values", "dropped_values")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.last = 0.0
+        self.values: List[float] = []
+        self.dropped_values = 0
+
+    def add(self, value: float, max_values: int) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+        if len(self.values) < max_values:
+            self.values.append(value)
+        else:
+            self.dropped_values += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        return nearest_rank(sorted(self.values), q)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "last": self.last,
+            "dropped_values": self.dropped_values,
+        }
+
+
+class WindowedSeries:
+    """Fixed-width windows of one telemetry stream, bounded retention."""
+
+    def __init__(
+        self,
+        name: str,
+        width: float,
+        origin: float = 0.0,
+        max_windows: int = MAX_WINDOWS,
+        max_values: int = MAX_VALUES,
+    ) -> None:
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        self.name = name
+        self.width = width
+        self.origin = origin
+        self.max_windows = max_windows
+        self.max_values = max_values
+        self._windows: Dict[int, WindowAgg] = {}
+        #: windows evicted by the retention cap (oldest-first)
+        self.dropped_windows = 0
+
+    # -- ingest --------------------------------------------------------
+
+    def index_of(self, now: float) -> int:
+        """The window index holding virtual time ``now`` (clamped >= 0)."""
+        return max(0, int(math.floor((now - self.origin) / self.width)))
+
+    def window_end(self, index: int) -> float:
+        """Virtual time at which window ``index`` closes."""
+        return self.origin + (index + 1) * self.width
+
+    def observe(self, now: float, value: float) -> None:
+        self.observe_at(self.index_of(now), value)
+
+    def observe_at(self, index: int, value: float) -> None:
+        agg = self._windows.get(index)
+        if agg is None:
+            agg = self._windows[index] = WindowAgg(index)
+            while len(self._windows) > self.max_windows:
+                del self._windows[min(self._windows)]
+                self.dropped_windows += 1
+        agg.add(value, self.max_values)
+
+    # -- queries -------------------------------------------------------
+
+    def indexes(self) -> List[int]:
+        return sorted(self._windows)
+
+    def window(self, index: int) -> Optional[WindowAgg]:
+        return self._windows.get(index)
+
+    def deltas(self) -> List[Tuple[int, float]]:
+        """Per-window sums — the delta view of a counter-like stream."""
+        return [(i, self._windows[i].total) for i in self.indexes()]
+
+    def rate(self) -> List[Tuple[int, float]]:
+        """Per-window sum divided by window width (events or units /s)."""
+        return [(i, self._windows[i].total / self.width) for i in self.indexes()]
+
+    def percentile(self, index: int, q: float) -> float:
+        """Nearest-rank percentile over window ``index``'s retained values."""
+        agg = self._windows.get(index)
+        return agg.percentile(q) if agg is not None else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "width_s": self.width,
+            "dropped_windows": self.dropped_windows,
+            "windows": [self._windows[i].to_dict() for i in self.indexes()],
+        }
+
+
+class TimeSeriesStore:
+    """Named windowed series sharing one window geometry (get-or-create)."""
+
+    def __init__(
+        self,
+        width: float,
+        origin: float = 0.0,
+        max_windows: int = MAX_WINDOWS,
+        max_values: int = MAX_VALUES,
+    ) -> None:
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        self.width = width
+        self.origin = origin
+        self.max_windows = max_windows
+        self.max_values = max_values
+        self._series: Dict[str, WindowedSeries] = {}
+
+    def series(self, name: str) -> WindowedSeries:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = WindowedSeries(
+                name, self.width, self.origin,
+                max_windows=self.max_windows, max_values=self.max_values,
+            )
+        return series
+
+    def observe(self, name: str, now: float, value: float) -> None:
+        self.series(name).observe(now, value)
+
+    def observe_at(self, name: str, index: int, value: float) -> None:
+        self.series(name).observe_at(index, value)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def ingest_registry(
+        self,
+        registry,
+        now: float,
+        last_snapshot: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Window one reading of a metrics registry; returns a snapshot.
+
+        Counters record their delta since ``last_snapshot`` (the whole
+        value on the first call), gauges record their current reading,
+        histograms record their count and sum deltas as ``<name>.count``
+        / ``<name>.sum``.  Call periodically with the returned snapshot
+        to turn cumulative registry state into per-window series.
+        """
+        last = last_snapshot or {}
+        for metric in registry.metrics():
+            entry = metric.to_dict()
+            kind = entry["kind"]
+            earlier = last.get(metric.name)
+            if kind == "counter":
+                value = entry["value"]
+                if earlier is not None:
+                    value -= earlier.value
+                self.observe(metric.name, now, value)
+            elif kind == "gauge":
+                self.observe(metric.name, now, entry["value"])
+            else:
+                count, total = entry["count"], entry["sum"]
+                if earlier is not None:
+                    count -= earlier.count
+                    total -= earlier.total
+                self.observe(f"{metric.name}.count", now, count)
+                self.observe(f"{metric.name}.sum", now, total)
+        return registry.snapshot()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.obs.timeseries/v1",
+            "width_s": self.width,
+            "series": {name: self._series[name].to_dict() for name in self.names()},
+        }

@@ -351,3 +351,35 @@ def run_suite(
         profile=hot_table,
     )
     return document, results
+
+
+def evaluate_slos(document, wall_budget_s=None, specs=None):
+    """Post-hoc SLO evaluation over one PERF document's layer timings.
+
+    Wall clock is noisy, so this never feeds back into the document —
+    it judges an already-persisted run: each layer's wall seconds is one
+    window's sample under a "stay within the per-layer wall budget"
+    objective (default: 2x the run's mean layer time), and a burn alert
+    means several layers in a row blew the budget.
+    """
+    from ..obs.slo import SloPlane, SloSpec
+
+    layers = document.get("layers", {})
+    if not layers:
+        raise ValueError("document has no layers")
+    if wall_budget_s is None:
+        total = sum(float(entry.get("wall_s", 0.0)) for entry in layers.values())
+        wall_budget_s = 2.0 * total / len(layers)
+    if specs is None:
+        specs = [SloSpec(
+            name="layer_wall", metric="perf.wall_s",
+            threshold=wall_budget_s, objective="le", target=0.75,
+            fast_windows=1, slow_windows=3, fast_burn=2.0, slow_burn=1.5,
+        )]
+    plane = SloPlane(specs, window=1.0)
+    for index, name in enumerate(sorted(layers)):
+        plane.observe_at(
+            "perf.wall_s", index, float(layers[name].get("wall_s", 0.0))
+        )
+    plane.evaluate_all()
+    return plane

@@ -1,6 +1,7 @@
 """The command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -144,3 +145,82 @@ def test_fleet_exports_obs_artifacts(capsys, tmp_path):
     assert any(e["name"] == "fleet.tick" for e in doc["traceEvents"])
     assert "fleet.volumes_above" in doc["metrics"]
     assert any(line.startswith("fleet_") for line in prom.read_text().splitlines())
+
+
+def test_slo_smoke_writes_valid_document(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["slo", "--smoke", "--volumes", "8", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "SLO report" in out
+    assert "fg_read_latency" in out
+    assert "burn-rate alert" in out
+    from repro.obs import slo as obs_slo
+
+    doc = json.loads((tmp_path / "SLO_smoke.json").read_text())
+    assert doc["schema"] == "repro.slo/v1"
+    obs_slo.validate(doc)
+    assert doc["source"]["kind"] == "fleet"
+    assert "fg_read_latency" in doc["slos"]
+
+
+def test_slo_documents_are_byte_reproducible(tmp_path):
+    a = tmp_path / "SLO_a.json"
+    b = tmp_path / "SLO_b.json"
+    for path in (a, b):
+        assert main(["slo", "--smoke", "--volumes", "8", "--seed", "0",
+                     "--json", str(path)]) == 0
+    assert a.read_text() == b.read_text()
+
+
+def test_slo_prom_export(capsys, tmp_path):
+    prom = tmp_path / "slo.prom"
+    assert main(["slo", "--smoke", "--volumes", "4", "--seed", "0",
+                 "--json", str(tmp_path / "s.json"),
+                 "--prom", str(prom)]) == 0
+    text = prom.read_text()
+    assert "# HELP slo_" in text
+    assert "# TYPE slo_" in text
+    assert "slo_fg_read_latency_compliance" in text
+
+
+def test_slo_compare_flags_storm_regression(capsys, tmp_path):
+    clean = tmp_path / "SLO_clean.json"
+    storm = tmp_path / "SLO_storm.json"
+    assert main(["slo", "--smoke", "--volumes", "8", "--seed", "0",
+                 "--json", str(clean)]) == 0
+    assert main(["slo", "--smoke", "--volumes", "8", "--seed", "0",
+                 "--faults", "--json", str(storm)]) == 0
+    assert main(["slo", "--compare", str(clean), str(storm)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    # identical documents compare clean
+    assert main(["slo", "--compare", str(clean), str(clean)]) == 0
+
+
+def test_fleet_slo_gating_report(capsys, tmp_path):
+    assert main(["fleet", "--smoke", "--volumes", "8", "--seed", "0",
+                 "--slo", "--json", str(tmp_path / "f.json")]) == 0
+    out = capsys.readouterr().out
+    assert "SLO gating" in out
+    doc = json.loads((tmp_path / "f.json").read_text())
+    assert "slo" in doc
+    assert "slo" in doc["config"]
+    assert doc["slo"]["alerts"]
+
+
+def test_watch_once_matches_golden(capsys):
+    assert main(["watch", "--smoke", "--volumes", "8", "--seed", "0",
+                 "--once"]) == 0
+    out = capsys.readouterr().out
+    golden = Path(__file__).parent / "golden" / "watch_once_smoke.txt"
+    assert out == golden.read_text()
+
+
+def test_watch_every_prints_periodic_frames(capsys):
+    assert main(["watch", "--smoke", "--volumes", "4", "--seed", "1",
+                 "--every", "3"]) == 0
+    out = capsys.readouterr().out
+    frames = out.count("fleet health —")
+    # 6 smoke ticks, a frame every 3rd tick plus the final one
+    assert frames == 2
+    assert "burn-rate alert" in out or "no alerts fired" in out

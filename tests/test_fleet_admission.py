@@ -108,3 +108,37 @@ def test_deferred_volume_readmitted_when_slot_frees():
     assert report.jobs_admitted >= 2
     assert report.jobs_deferred_ticks >= 1
     assert max(row.jobs_running for row in report.ticks) <= 1
+
+
+def test_promote_moves_queued_volume_to_front():
+    budget = TickBudget(None)
+    admission = AdmissionController(max_jobs=1, budget=budget)
+    for name in ("a", "b", "c"):
+        admission.request(name)
+    assert admission.promote("c")
+    assert list(admission.queue) == ["c", "a", "b"]
+    # the next admission pass services the promoted volume first
+    admitted = admission.admit(lambda name: name)
+    assert admitted == ["c"]
+
+
+def test_promote_never_admits_unqueued_volumes():
+    budget = TickBudget(None)
+    admission = AdmissionController(max_jobs=2, budget=budget)
+    admission.request("a")
+    # unknown volume: gating reorders, it never invents admissions
+    assert not admission.promote("ghost")
+    assert list(admission.queue) == ["a"]
+    # running volume: not queued either, promote is a no-op
+    admission.admit(lambda name: name)
+    assert not admission.promote("a")
+    assert list(admission.queue) == []
+
+
+def test_promote_is_stable_for_front_volume():
+    budget = TickBudget(None)
+    admission = AdmissionController(max_jobs=1, budget=budget)
+    admission.request("a")
+    admission.request("b")
+    assert admission.promote("a")
+    assert list(admission.queue) == ["a", "b"]

@@ -1,0 +1,90 @@
+"""The plain-text fleet health dashboard: sparklines and frames."""
+
+from repro.fleet.report import TickRow
+from repro.obs.dashboard import BARS, Frame, render, sparkline
+
+
+def _row(tick, above=2, migrated=1 << 20, running=1, waiting=0, fg=64):
+    return TickRow(
+        tick=tick, volumes_above=above, migrated_bytes=migrated,
+        jobs_running=running, jobs_admitted=0, jobs_waiting=waiting,
+        fg_ops=fg,
+    )
+
+
+def _summary(**overrides):
+    base = {
+        "metric": "m", "objective": "le", "threshold": 1.0, "target": 0.95,
+        "windows": 3, "samples": 30, "bad_samples": 3,
+        "compliance": 0.9, "budget_consumed": 2.0, "budget_remaining": -1.0,
+        "breaches": 1, "alerts": 0, "max_fast_burn": 2.0,
+        "max_slow_burn": 1.5, "last_fast_burn": 0.5, "last_slow_burn": 0.8,
+        "burn": [0.0, 2.0, 0.5],
+    }
+    base.update(overrides)
+    return base
+
+
+def test_sparkline_scales_min_to_max():
+    line = sparkline([0.0, 1.0, 2.0, 3.0])
+    assert len(line) == 4
+    assert line[0] == BARS[0] and line[-1] == BARS[-1]
+    assert all(ch in BARS for ch in line)
+
+
+def test_sparkline_flat_empty_and_tail():
+    assert sparkline([]) == ""
+    assert sparkline([0.0, 0.0]) == BARS[0] * 2  # all-zero: baseline
+    assert sparkline([5.0, 5.0]) == BARS[3] * 2  # flat nonzero: mid
+    assert len(sparkline(list(range(100)), width=10)) == 10
+
+
+def test_render_shows_slos_alerts_and_fleet_curves():
+    frame = Frame(
+        tick=3, ticks_total=6, now=1.0, volumes=8,
+        rows=[_row(t) for t in range(4)],
+        slo_summaries={"fg_read_latency": _summary()},
+        alerts=[{"slo": "fg_read_latency", "window": 2, "time_s": 0.75,
+                 "fast_burn": 2.5, "slow_burn": 1.6, "bad": 3, "samples": 10}],
+        firing=["fg_read_latency"],
+        budget_per_tick=2 << 20,
+    )
+    text = render(frame)
+    assert "tick 4/6" in text and "8 volumes" in text
+    assert "fg_read_latency" in text
+    assert "FIRING" in text
+    assert "1 burn-rate alert" in text
+    assert "fast 2.50 slow 1.60" in text
+    assert "above-trigger" in text and "migrated MiB" in text
+    assert "(budget 2.00)" in text
+
+
+def test_render_without_alerts_or_slos():
+    frame = Frame(
+        tick=0, ticks_total=1, now=0.25, volumes=2,
+        rows=[_row(0)], slo_summaries={}, alerts=[], firing=[],
+    )
+    text = render(frame)
+    assert "no alerts fired" in text
+    assert "FIRING" not in text
+
+
+def test_render_state_column_breach_vs_ok():
+    def frame_for(summary, firing):
+        return Frame(
+            tick=0, ticks_total=1, now=0.25, volumes=1,
+            rows=[], slo_summaries={"s": summary}, alerts=[], firing=firing,
+        )
+    assert " ok" in render(frame_for(_summary(breaches=0), []))
+    assert "breach" in render(frame_for(_summary(breaches=2), []))
+    assert "FIRING" in render(frame_for(_summary(), ["s"]))
+
+
+def test_render_is_deterministic():
+    frame_args = dict(
+        tick=1, ticks_total=4, now=0.5, volumes=4,
+        rows=[_row(0), _row(1, above=3)],
+        slo_summaries={"a": _summary(), "b": _summary(compliance=1.0)},
+        alerts=[], firing=[],
+    )
+    assert render(Frame(**frame_args)) == render(Frame(**frame_args))

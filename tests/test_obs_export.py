@@ -137,3 +137,84 @@ def test_prometheus_name_sanitization():
     reg.counter("device.flash-0.cmds").inc(1)
     text = prometheus_text(reg)
     assert "device_flash_0_cmds 1" in text.splitlines()
+
+
+def test_prometheus_help_lines_from_central_table():
+    from repro.obs.export import METRIC_HELP, metric_help
+
+    reg = MetricsRegistry()
+    reg.counter("fleet.fg_ops").inc(5)
+    reg.gauge("fleet.jobs_running").set(2)
+    reg.histogram("fleet.fg_read_latency_s").observe(0.001)
+    text = prometheus_text(reg)
+    lines = text.splitlines()
+    assert f"# HELP fleet_fg_ops {METRIC_HELP['fleet.fg_ops']}" in lines
+    assert (f"# HELP fleet_jobs_running "
+            f"{METRIC_HELP['fleet.jobs_running']}") in lines
+    # gauges document their _peak companion too
+    assert any(l.startswith("# HELP fleet_jobs_running_peak peak of:")
+               for l in lines)
+    assert (f"# HELP fleet_fg_read_latency_s "
+            f"{METRIC_HELP['fleet.fg_read_latency_s']}") in lines
+    # HELP precedes TYPE for the same metric (text-format convention)
+    help_idx = lines.index(f"# HELP fleet_fg_ops {METRIC_HELP['fleet.fg_ops']}")
+    assert lines[help_idx + 1] == "# TYPE fleet_fg_ops counter"
+    # undocumented metrics simply carry no HELP line
+    reg2 = MetricsRegistry()
+    reg2.counter("totally.unknown").inc(1)
+    assert "# HELP" not in prometheus_text(reg2)
+    # pattern rules cover dynamic families
+    assert metric_help("fs.syscall.read") == METRIC_HELP["fs.syscall.*"]
+    assert metric_help("slo.lat.burn_fast") == METRIC_HELP["slo.*.burn_fast"]
+    assert metric_help("slo.breaches") == METRIC_HELP["slo.breaches"]
+    assert metric_help("nope") is None
+
+
+def test_prometheus_text_format_0_0_4_compliance():
+    import re as _re
+
+    reg = MetricsRegistry()
+    reg.counter("fs.syscall.read").inc(3)
+    reg.gauge("fleet.jobs_running").set(2)
+    hist = reg.histogram("fleet.fg_read_latency_s", bounds=(0.001, 0.01))
+    hist.observe(0.0005)
+    hist.observe(5.0)
+    text = prometheus_text(reg)
+    assert text.endswith("\n")
+    name_re = _re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+    sample_re = _re.compile(
+        r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9+.eE\-]+$'
+    )
+    seen_types = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name = rest.split(" ", 1)[0]
+            assert name_re.fullmatch(name)
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert name_re.fullmatch(name)
+            assert kind in ("counter", "gauge", "histogram")
+            assert name not in seen_types  # one TYPE line per metric
+            seen_types[name] = kind
+        else:
+            assert sample_re.fullmatch(line), line
+    # histogram series complete: buckets cumulative, +Inf, _sum, _count
+    lines = text.splitlines()
+    buckets = [l for l in lines if "_bucket{" in l]
+    counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+    assert counts == sorted(counts)
+    assert any('le="+Inf"' in l for l in buckets)
+    assert any(l.startswith("fleet_fg_read_latency_s_sum ") for l in lines)
+    assert any(l.startswith("fleet_fg_read_latency_s_count ") for l in lines)
+
+
+def test_prometheus_help_keeps_byte_determinism():
+    def build(order):
+        reg = MetricsRegistry()
+        for name in order:
+            reg.counter(name).inc(1)
+        return prometheus_text(reg)
+
+    assert (build(["fleet.fg_ops", "slo.alerts", "fs.syscall.read"])
+            == build(["fs.syscall.read", "fleet.fg_ops", "slo.alerts"]))

@@ -99,3 +99,39 @@ def test_registry_get_or_create_and_snapshot():
     assert dump["c"]["count"] == 1
     reg.reset()
     assert reg.counter("a").value == 0
+
+
+def test_histogram_quantile_edges_are_finite_and_pinned():
+    hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+    for value in (1.5, 1.7, 3.0):
+        hist.observe(value)
+    # q <= 0 pins to the lower edge of the first occupied bucket
+    assert hist.quantile(0.0) == 1.0
+    assert hist.quantile(-0.5) == 1.0
+    # q >= 1 pins to the exact observed maximum
+    assert hist.quantile(1.0) == 3.0
+    assert hist.quantile(2.0) == 3.0
+    # interior quantiles stay within [min-edge, max]
+    for q in (0.25, 0.5, 0.75, 0.99):
+        assert 1.0 <= hist.quantile(q) <= 3.0
+
+
+def test_histogram_quantile_all_mass_in_overflow_bucket():
+    hist = Histogram("h", bounds=(1.0, 2.0))
+    hist.observe(10.0)
+    hist.observe(50.0)
+    # interpolation runs between the last bound and the observed max —
+    # finite, never +Inf
+    import math
+    for q in (0.0, 0.3, 0.5, 0.9, 1.0):
+        value = hist.quantile(q)
+        assert math.isfinite(value)
+        assert 2.0 <= value <= 50.0
+    assert hist.quantile(1.0) == 50.0
+    assert hist.quantile(0.0) == 2.0
+
+
+def test_histogram_empty_is_zero_for_every_q():
+    empty = Histogram("h")
+    for q in (-1.0, 0.0, 0.5, 1.0, 2.0):
+        assert empty.quantile(q) == 0.0

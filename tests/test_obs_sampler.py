@@ -150,3 +150,58 @@ def test_detach_without_attach_is_a_noop():
     with sampler:
         assert sampler.attached
     assert not sampler.attached
+
+
+def test_context_manager_detaches_when_body_raises():
+    fs, _ = _fragmented_fs()
+    sampler = FragmentationSampler(fs, interval=0.001, paths=["/target"])
+    with pytest.raises(RuntimeError, match="boom"):
+        with sampler:
+            assert sampler.attached
+            raise RuntimeError("boom")
+    # __exit__ ran: refcount back to zero, listener gone
+    assert not sampler.attached
+    assert sampler._attach_depth == 0
+    assert sampler._on_batch not in fs.device._listeners
+
+
+def test_exception_unwinds_only_its_own_nesting_level():
+    fs, now = _fragmented_fs()
+    sampler = FragmentationSampler(fs, interval=0.001, paths=["/target"])
+    sampler.attach()  # the fleet-wide attachment
+    with pytest.raises(ValueError):
+        with sampler:  # a job's nested attachment dies mid-flight
+            raise ValueError("job crashed")
+    # the outer attachment survives the inner crash and keeps sampling
+    assert sampler.attached
+    assert fs.device._listeners.count(sampler._on_batch) == 1
+    handle = fs.open("/target", o_direct=True)
+    fs.read(handle, 0, 128 * KIB, now=now)
+    assert sampler.samples_taken >= 1
+    sampler.detach()
+    assert not sampler.attached
+
+
+def test_fleet_controller_nests_job_attach_over_fleet_attach():
+    from repro.fleet import FleetConfig, build_volumes, FleetController
+
+    config = FleetConfig.smoke(volumes=4)
+    volumes = build_volumes(config)
+    try:
+        for volume in volumes:
+            volume.sampler.attach()  # the fleet-wide attachment
+        controller = FleetController(config, volumes)
+        controller.begin()
+        for tick in range(config.ticks):
+            controller.run_tick(tick)
+            # a running job stacks its own attachment on the fleet's
+            for name in controller.admission.running:
+                assert controller.by_name[name].sampler._attach_depth == 2
+        controller.finish()
+        # retired jobs balanced their nested attach; the fleet's remains
+        for volume in volumes:
+            if volume.spec.name not in controller.admission.running:
+                assert volume.sampler._attach_depth == 1
+    finally:
+        for volume in volumes:
+            volume.close()

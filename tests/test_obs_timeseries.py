@@ -1,0 +1,125 @@
+"""Windowed telemetry rollups: geometry, queries, bounded retention."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    TimeSeriesStore,
+    WindowedSeries,
+    nearest_rank,
+)
+
+
+def test_nearest_rank_is_deterministic_and_clamped():
+    ordered = [1.0, 2.0, 3.0, 4.0]
+    assert nearest_rank(ordered, 0.5) == 2.0
+    assert nearest_rank(ordered, 1.0) == 4.0
+    assert nearest_rank(ordered, 0.0) == 1.0
+    assert nearest_rank(ordered, -1.0) == 1.0
+    assert nearest_rank(ordered, 2.0) == 4.0
+    assert nearest_rank([], 0.5) == 0.0
+
+
+def test_window_geometry_keyed_to_virtual_clock():
+    series = WindowedSeries("lat", width=0.25)
+    assert series.index_of(0.0) == 0
+    assert series.index_of(0.24) == 0
+    assert series.index_of(0.25) == 1
+    assert series.index_of(1.1) == 4
+    # pre-origin times clamp into window 0 rather than going negative
+    assert series.index_of(-5.0) == 0
+    assert series.window_end(0) == 0.25
+    assert series.window_end(3) == 1.0
+
+
+def test_windowed_series_rollup_and_queries():
+    series = WindowedSeries("ops", width=1.0)
+    for t, v in [(0.1, 2.0), (0.9, 4.0), (1.5, 10.0)]:
+        series.observe(t, v)
+    assert series.indexes() == [0, 1]
+    w0 = series.window(0)
+    assert w0.count == 2
+    assert w0.total == 6.0
+    assert w0.min == 2.0 and w0.max == 4.0 and w0.last == 4.0
+    assert w0.mean == 3.0
+    assert series.deltas() == [(0, 6.0), (1, 10.0)]
+    assert series.rate() == [(0, 6.0), (1, 10.0)]
+    assert series.percentile(0, 0.5) == 2.0
+    assert series.percentile(0, 1.0) == 4.0
+    assert series.percentile(7, 0.5) == 0.0  # absent window
+    assert series.window(7) is None
+
+
+def test_window_eviction_counts_drops():
+    series = WindowedSeries("x", width=1.0, max_windows=3)
+    for index in range(6):
+        series.observe_at(index, 1.0)
+    assert series.indexes() == [3, 4, 5]
+    assert series.dropped_windows == 3
+    assert series.to_dict()["dropped_windows"] == 3
+
+
+def test_per_window_value_retention_counts_drops():
+    series = WindowedSeries("x", width=1.0, max_values=2)
+    for value in (5.0, 1.0, 9.0, 3.0):
+        series.observe_at(0, value)
+    agg = series.window(0)
+    # count/sum/min/max stay exact, only the percentile pool is capped
+    assert agg.count == 4
+    assert agg.total == 18.0
+    assert agg.min == 1.0 and agg.max == 9.0
+    assert agg.dropped_values == 2
+    assert agg.values == [5.0, 1.0]
+
+
+def test_width_must_be_positive():
+    with pytest.raises(ValueError):
+        WindowedSeries("x", width=0.0)
+    with pytest.raises(ValueError):
+        TimeSeriesStore(width=-1.0)
+
+
+def test_store_get_or_create_and_shared_geometry():
+    store = TimeSeriesStore(width=0.5)
+    store.observe("a", 0.1, 1.0)
+    store.observe("b", 0.6, 2.0)
+    assert store.names() == ["a", "b"]
+    assert "a" in store and "zzz" not in store
+    assert store.series("a") is store.series("a")
+    assert store.series("b").width == 0.5
+    doc = store.to_dict()
+    assert doc["schema"] == "repro.obs.timeseries/v1"
+    assert set(doc["series"]) == {"a", "b"}
+
+
+def test_ingest_registry_windows_counter_deltas_and_histograms():
+    store = TimeSeriesStore(width=1.0)
+    registry = MetricsRegistry()
+    registry.counter("ops").inc(10)
+    registry.gauge("depth").set(3.0)
+    registry.histogram("lat").observe(0.5)
+
+    snap = store.ingest_registry(registry, now=0.5)
+    registry.counter("ops").inc(7)
+    registry.gauge("depth").set(1.0)
+    registry.histogram("lat").observe(1.5)
+    store.ingest_registry(registry, now=1.5, last_snapshot=snap)
+
+    # counters window as deltas: 10 then 7
+    assert store.series("ops").deltas() == [(0, 10.0), (1, 7.0)]
+    # gauges window as raw readings
+    assert store.series("depth").deltas() == [(0, 3.0), (1, 1.0)]
+    # histograms window their count and sum deltas
+    assert store.series("lat.count").deltas() == [(0, 1.0), (1, 1.0)]
+    assert store.series("lat.sum").deltas() == [(0, 0.5), (1, 1.5)]
+
+
+def test_same_points_produce_identical_rollups():
+    points = [(0.07 * i, float(i % 5)) for i in range(100)]
+    docs = []
+    for _ in range(2):
+        store = TimeSeriesStore(width=0.25)
+        for t, v in points:
+            store.observe("s", t, v)
+        docs.append(store.to_dict())
+    assert docs[0] == docs[1]
