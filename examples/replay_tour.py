@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Trace replay tour: from a raw trace to a defrag verdict.
+
+Walks the whole ``repro.replay`` pipeline the way an operator would use
+it on a real capture:
+
+1. **Corpus** — generate a seeded 100k-op binary trace (stands in for a
+   blktrace/strace capture; the parsers read those formats too).
+2. **Reconstruct** — stream it onto a live simulated Ext4/flash stack
+   through real syscalls; the churny write mix ages the file set.
+3. **Measure** — fragmentation census and cold sequential read cost of
+   the reconstructed file set.
+4. **Defragment** — run FragPicker over exactly those files.
+5. **Re-measure** — same census, same reads: the before/after the
+   EXPERIMENTS.md recipe reports.
+6. **Round trip** — capture->corpus->replay byte-identity, the property
+   that makes replay trustworthy as a regression workload.
+
+Everything is virtual-time and seed-keyed: run it twice, get the same
+bytes.  Run:  PYTHONPATH=src python examples/replay_tour.py
+"""
+
+import os
+import tempfile
+
+from repro.bench.experiments import replay_roundtrip
+from repro.constants import KIB, MIB
+from repro.core import FragPicker
+from repro.device import make_device
+from repro.fs import make_filesystem
+from repro.obs.sampler import FragmentationSampler
+from repro.replay import (
+    PlacementPolicy,
+    Reconstructor,
+    TraceProfile,
+    generate_trace,
+    open_trace,
+)
+
+READ_SIZE = 128 * KIB
+
+
+def cold_read_cost(fs, paths, now):
+    """Cold sequential read of every file; returns (seconds, new now)."""
+    fs.drop_caches()
+    start = now
+    for path in paths:
+        handle = fs.open(path, o_direct=True, app="measure")
+        size = fs.inode_of(path).size
+        offset = 0
+        while offset + READ_SIZE <= size:
+            now = fs.read(handle, offset, READ_SIZE, now=now).finish_time
+            offset += READ_SIZE
+    return now - start, now
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="replay-tour-")
+    trace_path = os.path.join(workdir, "tour.bin")
+
+    print("== 1. seeded trace corpus (binary repro.replay/v1) ==")
+    profile = TraceProfile(
+        ops=100_000, seed=11, files=32, file_bytes=4 * MIB,
+        read_fraction=0.35, sequential_fraction=0.3,
+    )
+    written = generate_trace(trace_path, profile)
+    size_mib = os.path.getsize(trace_path) / MIB
+    print(f"  {written} records, {size_mib:.1f} MiB on disk "
+          f"({os.path.getsize(trace_path) // written} bytes/record)")
+
+    print("\n== 2. reconstruct onto a live Ext4/flash stack ==")
+    fs = make_filesystem("ext4", make_device("flash"))
+    reconstructor = Reconstructor(fs, PlacementPolicy(seed=5))
+    reader = open_trace(trace_path)
+    now = reconstructor.run(iter(reader), now=0.0)
+    stats = reconstructor.stats
+    print(f"  {stats.ops} ops re-issued ({stats.ops_read} reads, "
+          f"{stats.ops_write} writes, {stats.ops_fsync} fsyncs) onto "
+          f"{stats.files_created} files in {now:.3f} virtual s")
+
+    paths = sorted(
+        reconstructor.policy.path_for(i) for i in range(profile.files)
+        if fs.exists(reconstructor.policy.path_for(i))
+    )
+    sampler = FragmentationSampler(fs, interval=1.0, paths=paths)
+
+    print("\n== 3. the replayed workload aged the file set ==")
+    frag_before = sampler.sample(now)["frag.extents_per_file"]
+    cost_before, now = cold_read_cost(fs, paths, now)
+    print(f"  extents/file: {frag_before:.1f}")
+    print(f"  cold sequential read of every file: {cost_before:.3f} s")
+
+    print("\n== 4. FragPicker over exactly those files ==")
+    picker = FragPicker(fs)
+    report = picker.defragment(plans=picker.bypass_plans(paths), now=now)
+    now = report.finished_at
+    print(f"  migrated {report.write_bytes / MIB:.1f} MiB in "
+          f"{report.elapsed:.3f} virtual s")
+
+    print("\n== 5. same census, same reads, after ==")
+    frag_after = sampler.sample(now)["frag.extents_per_file"]
+    cost_after, now = cold_read_cost(fs, paths, now)
+    speedup = cost_before / cost_after if cost_after else float("inf")
+    print(f"  extents/file: {frag_before:.1f} -> {frag_after:.1f}")
+    print(f"  cold read cost: {cost_before:.3f} s -> {cost_after:.3f} s "
+          f"({speedup:.2f}x)")
+
+    print("\n== 6. capture -> corpus -> replay round trip ==")
+    print(replay_roundtrip.run().report())
+    sampler.detach()
+
+
+if __name__ == "__main__":
+    main()

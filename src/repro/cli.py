@@ -27,6 +27,12 @@ Usage::
     python -m repro slo --smoke --prom slo.prom          # budget gauges, Prom text
     python -m repro watch --smoke --once                 # final dashboard frame
     python -m repro watch --volumes 16 --every 2         # frame every 2nd tick
+    python -m repro replay --generate 1000000 --out t.bin --seed 7
+    python -m repro replay --trace t.bin --json R.json   # reconstruct + replay
+    python -m repro replay --trace blk.txt --format blktrace --pacing trace
+    python -m repro replay --smoke                       # generate + replay
+    python -m repro replay --compare REPLAY_a.json REPLAY_b.json
+    python -m repro fleet --smoke --workload trace:t.bin # trace-driven fleet
 """
 
 from __future__ import annotations
@@ -235,6 +241,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="MS",
                        help="foreground read-latency objective for --slo "
                             "(default 2.0 ms)")
+    fleet.add_argument("--workload", default=None, metavar="KIND",
+                       help="override every volume's foreground workload: "
+                            "one of read_seq/read_stride/rw_mix, or "
+                            "'trace:<path>' to replay a captured trace as "
+                            "the foreground stream")
     fleet.add_argument("--trace", default=None, metavar="PATH",
                        help="also write the run's Chrome trace")
     fleet.add_argument("--metrics-json", default=None, metavar="PATH",
@@ -291,6 +302,41 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--once", action="store_true",
                        help="render only the final frame (the CI golden "
                             "output mode)")
+    replay = sub.add_parser(
+        "replay",
+        help="trace replay: parse a block/syscall trace, reconstruct it on "
+             "a live simulated fs, persist REPLAY_*.json, compare runs",
+    )
+    replay.add_argument("--trace", default=None, metavar="PATH",
+                        help="trace file to replay (blktrace text, CSV, or "
+                             "repro.replay/v1 binary; format auto-sniffed)")
+    replay.add_argument("--format", default="auto",
+                        choices=["auto", "blktrace", "csv", "binary"],
+                        help="trace format (default: auto-detect)")
+    replay.add_argument("--fs-type", default="ext4",
+                        choices=["ext4", "f2fs", "btrfs"],
+                        help="filesystem personality to replay onto")
+    replay.add_argument("--device", default="flash",
+                        choices=["hdd", "microsd", "flash", "optane"],
+                        help="device model under the fs (default flash)")
+    replay.add_argument("--pacing", default="afap",
+                        choices=["afap", "trace"],
+                        help="afap = closed loop; trace = preserve the "
+                             "trace's inter-arrival gaps (default afap)")
+    replay.add_argument("--seed", type=int, default=0,
+                        help="placement seed (same seed => byte-identical "
+                             "reconstruction and document)")
+    replay.add_argument("--generate", type=int, default=None, metavar="OPS",
+                        help="generate a seeded binary corpus of OPS ops "
+                             "(to --out) instead of, or before, replaying")
+    replay.add_argument("--out", default="trace.bin", metavar="PATH",
+                        help="output path for --generate (default trace.bin)")
+    replay.add_argument("--files", type=int, default=64,
+                        help="distinct files in the generated corpus")
+    replay.add_argument("--smoke", action="store_true",
+                        help="no trace needed: generate a small seeded "
+                             "corpus in a temp dir and replay it (CI smoke)")
+    cli_util.add_document_args(replay, "REPLAY", "REPLAY", threshold=0.10)
     faults = sub.add_parser(
         "faults",
         help="fault-injection survival report: crash-point sweep + seeded campaign",
@@ -448,6 +494,8 @@ def _fleet_config(args):
     from .fleet import FleetConfig
 
     overrides = {"faults": args.faults}
+    if getattr(args, "workload", None) is not None:
+        overrides["workload"] = args.workload
     if getattr(args, "ticks", None) is not None:
         overrides["ticks"] = args.ticks
     if getattr(args, "budget", None) is not None:
@@ -582,6 +630,52 @@ def _run_watch(args) -> int:
     return 0
 
 
+def _run_replay(args) -> int:
+    import os
+    import tempfile
+
+    from . import replay as replay_mod
+    from .replay import ReplayConfig, TraceProfile, generate_trace, run_replay
+
+    code = cli_util.run_compare(args, replay_mod.load, replay_mod.compare)
+    if code is not None:
+        return code
+
+    trace_path = args.trace
+    if args.generate is not None:
+        profile = TraceProfile(ops=args.generate, seed=args.seed,
+                               files=args.files)
+        written = generate_trace(args.out, profile)
+        size = os.path.getsize(args.out)
+        print(f"wrote {written} records ({size} bytes) to {args.out} "
+              f"(seed {args.seed}, {args.files} files)")
+        if trace_path is None and not args.smoke:
+            return 0
+        trace_path = trace_path or args.out
+    elif trace_path is None and args.smoke:
+        tmpdir = tempfile.mkdtemp(prefix="repro-replay-")
+        trace_path = os.path.join(tmpdir, "smoke.bin")
+        generate_trace(trace_path, TraceProfile(ops=20_000, seed=args.seed))
+    elif trace_path is None:
+        print("replay: need --trace PATH, --generate OPS, or --smoke",
+              file=sys.stderr)
+        return 2
+
+    config = ReplayConfig(
+        fs_type=args.fs_type, device=args.device, fmt=args.format,
+        pacing=args.pacing, seed=args.seed,
+    )
+    result = run_replay(trace_path, config)
+    print(result.text())
+    label, path = cli_util.document_path(args, "REPLAY")
+    document = result.to_dict(label)
+    replay_mod.validate(document)
+    replay_mod.save(path, document)
+    print(f"\nwrote replay document to {path} "
+          f"(schema {document['schema']}, fingerprint {document['fingerprint']})")
+    return 0
+
+
 def _run_faults(args) -> int:
     from .faults.campaign import survival_report
 
@@ -616,6 +710,8 @@ def main(argv=None) -> int:
         return _run_slo(args)
     if args.command == "watch":
         return _run_watch(args)
+    if args.command == "replay":
+        return _run_replay(args)
     if args.command == "faults":
         return _run_faults(args)
     if args.command == "list":

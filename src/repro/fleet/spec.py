@@ -111,6 +111,10 @@ class FleetConfig:
     #: arm the seeded fleet fault storm (transient errors, latency
     #: spikes, and one mid-migration power-off) — see :meth:`fault_plan`
     faults: bool = False
+    #: foreground workload override for *every* volume: one of
+    #: :data:`WORKLOADS`, or ``trace:<path>`` to replay a captured trace
+    #: (see :mod:`repro.replay.workload`); None keeps the seed-keyed mix
+    workload: Optional[str] = None
     #: bounded retry-with-backoff applied to every defrag job
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
@@ -129,6 +133,13 @@ class FleetConfig:
             raise InvalidArgument("trigger must be positive")
         if self.fg_ops_per_tick < 0:
             raise InvalidArgument("fg_ops_per_tick must be >= 0")
+        if self.workload is not None and self.workload not in WORKLOADS:
+            from ..replay.workload import parse_trace_workload
+            if parse_trace_workload(self.workload) is None:
+                raise InvalidArgument(
+                    f"unknown workload {self.workload!r}: expected one of "
+                    f"{', '.join(WORKLOADS)} or trace:<path>"
+                )
 
     @classmethod
     def smoke(cls, volumes: int = 8, seed: int = 0, **overrides: object) -> "FleetConfig":
@@ -146,7 +157,7 @@ class FleetConfig:
 
     def to_dict(self) -> Dict[str, object]:
         """Canonical (fingerprinted) configuration."""
-        return {
+        document: Dict[str, object] = {
             "volumes": self.volumes,
             "seed": self.seed,
             "ticks": self.ticks,
@@ -160,6 +171,11 @@ class FleetConfig:
             "faults": self.faults,
             "retry_attempts": self.retry.attempts,
         }
+        # conditional: absent when unset so pre-override fleet documents
+        # keep their fingerprints byte-identical
+        if self.workload is not None:
+            document["workload"] = self.workload
+        return document
 
     def fault_plan(self) -> FaultPlan:
         """The fleet storm: aimed at migration syscalls so foreground
@@ -208,7 +224,11 @@ def make_volume_specs(config: FleetConfig) -> List[VolumeSpec]:
         fs_type = rng.choice(FS_MIX)
         device = rng.choice(DEVICE_MIX)
         profile = _pick_weighted(rng, PROFILES) if index else PROFILES[0]
+        # the choice is always drawn so an override never perturbs this
+        # volume's later draws (file count/sizes share the stream)
         workload = rng.choice(WORKLOADS)
+        if config.workload is not None:
+            workload = config.workload
         files = []
         for fi in range(rng.randint(3, 5)):
             size = rng.choice(_FILE_SIZES)

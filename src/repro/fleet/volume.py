@@ -22,6 +22,7 @@ from ..device import make_device
 from ..errors import FaultError, InjectedCrash
 from ..fs import make_filesystem
 from ..obs.sampler import FragmentationSampler
+from ..replay.workload import cycling_ops, parse_trace_workload
 from ..workloads.synthetic import FragmentSpec, make_fragmented_file
 from .spec import FleetConfig, VolumeSpec
 
@@ -68,6 +69,13 @@ class Volume:
             path: self.fs.open(path, o_direct=True, app="fg") for path in self.paths
         }
         self._scan_offsets: Dict[str, int] = {path: 0 for path in self.paths}
+        self._trace_ops = None
+        trace_path = parse_trace_workload(spec.workload)
+        if trace_path is not None:
+            # every volume re-reads the same trace; records are mapped
+            # onto this volume's own file set (file_id % files) so the
+            # stream is shareable across heterogeneous volumes
+            self._trace_ops = cycling_ops(trace_path)
 
     # -- tick geometry -------------------------------------------------
 
@@ -84,8 +92,43 @@ class Volume:
 
     # -- foreground workload -------------------------------------------
 
+    def _trace_op(self, now: float) -> float:
+        """One trace-driven foreground op (workload ``trace:<path>``).
+
+        Trace entities land on this volume's file set by residue
+        (``file_id % files``); ranges are clamped to the target file so
+        any trace drives any volume.  Reads still feed the latency SLO.
+        """
+        record = next(self._trace_ops)
+        path = self.paths[record.file_id % len(self.paths)]
+        handle = self._handles[path]
+        size = self.fs.inode_of(path).size
+        try:
+            if record.op == "fsync":
+                result = self.fs.fsync(handle, now=now)
+            else:
+                length = max(BLOCK_SIZE, min(record.size, size))
+                length -= length % BLOCK_SIZE
+                offset = record.offset % max(BLOCK_SIZE, size - length + 1)
+                offset -= offset % BLOCK_SIZE
+                if record.op == "read":
+                    result = self.fs.read(handle, offset, length, now=now)
+                    self.read_latencies.append(result.finish_time - now)
+                else:
+                    result = self.fs.write(handle, offset, length, now=now)
+            self.fg_ops += 1
+            return result.finish_time
+        except InjectedCrash:
+            raise
+        except FaultError:
+            self.fg_errors += 1
+            self.fg_ops += 1
+            return now
+
     def _one_op(self, now: float) -> float:
         """One foreground op at ``now``; returns its finish time."""
+        if self._trace_ops is not None:
+            return self._trace_op(now)
         path = self.rng.choice(self.paths)
         handle = self._handles[path]
         size = self.fs.inode_of(path).size

@@ -101,3 +101,31 @@ class SyscallMonitor:
 
     def clear(self) -> None:
         self.records.clear()
+
+    # -- capture -> corpus -----------------------------------------------
+
+    def dump_binary(self, path: str) -> int:
+        """Write the captured window as a ``repro.replay/v1`` binary trace.
+
+        The capture side of the capture->replay round trip: each
+        :class:`IORecord` becomes one packed op record with the inode
+        number as the trace ``file_id`` (replay maps it back to a path
+        via an explicit :class:`~repro.replay.reconstruct.PlacementPolicy`
+        mapping).  Returns the number of records written.
+        """
+        # late import: repro.replay imports nothing from repro.trace, but
+        # keep the base monitor usable without the replay package loaded
+        from ..replay.formats import BinaryTraceWriter
+        from ..types import IoOp
+
+        with BinaryTraceWriter(path) as writer:
+            for record in self.records:
+                writer.write_op(IoOp(
+                    op=record.io_type,
+                    file_id=record.ino,
+                    offset=record.offset,
+                    size=record.size,
+                    time=record.time,
+                    o_direct=record.o_direct,
+                ))
+            return writer.written

@@ -16,6 +16,7 @@ from .synthetic import (
     FragmentSpec,
     make_fragmented_file,
     make_paper_synthetic_file,
+    pattern_ops,
     sequential_read,
     sequential_update,
     stride_read,
@@ -25,8 +26,8 @@ from .aging import age_filesystem
 from .kvstore import LsmStore, LsmConfig
 from .ycsb import YcsbConfig, YcsbWorkload, WORKLOAD_A, WORKLOAD_C
 from .sqlite_like import SqliteLike, SqliteConfig
-from .fileserver import FileServer, FileServerConfig, grep_directory
-from .fio import fio_sequential_writer
+from .fileserver import FileServer, FileServerConfig, grep_directory, grep_ops
+from .fio import fio_ops, fio_sequential_writer
 
 __all__ = [
     "UniformKeys",
@@ -34,6 +35,7 @@ __all__ = [
     "FragmentSpec",
     "make_fragmented_file",
     "make_paper_synthetic_file",
+    "pattern_ops",
     "sequential_read",
     "sequential_update",
     "stride_read",
@@ -50,5 +52,7 @@ __all__ = [
     "FileServer",
     "FileServerConfig",
     "grep_directory",
+    "grep_ops",
+    "fio_ops",
     "fio_sequential_writer",
 ]

@@ -3,8 +3,21 @@ in the SQLite/MicroSD experiment (Section 5.3.2)."""
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from ..constants import KIB
 from ..fs.base import Filesystem
+from ..types import IoOp
+
+
+def fio_ops(request_size: int, file_id: int = 0) -> Iterator[IoOp]:
+    """The endless sequential-write op stream, as unified
+    :class:`~repro.types.IoOp` records (the caller bounds it by duration
+    or byte budget)."""
+    offset = 0
+    while True:
+        yield IoOp("write", file_id, offset, request_size)
+        offset += request_size
 
 
 def fio_sequential_writer(
@@ -25,12 +38,14 @@ def fio_sequential_writer(
 
     def _run(ctx):
         handle = fs.open(path, o_direct=True, app=app, create=True)
-        offset = 0
         end = None if duration is None else ctx.now + duration
-        while (end is None or ctx.now < end) and (max_bytes is None or offset < max_bytes):
-            result = fs.write(handle, offset, request_size, now=ctx.now)
+        for record in fio_ops(request_size):
+            if end is not None and ctx.now >= end:
+                break
+            if max_bytes is not None and record.offset >= max_bytes:
+                break
+            result = fs.write(handle, record.offset, record.size, now=ctx.now)
             ctx.now = result.finish_time
-            ctx.record(request_size)
-            offset += request_size
+            ctx.record(record.size)
             yield
     return _run

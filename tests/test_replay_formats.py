@@ -1,0 +1,258 @@
+"""Trace format parsers: golden files, robustness, round trips."""
+
+import os
+import struct
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.replay.formats import (
+    BINARY_MAGIC,
+    HEADER_SIZE,
+    RECORD_SIZE,
+    BinaryTraceReader,
+    BinaryTraceWriter,
+    BlktraceTextReader,
+    CsvTraceReader,
+    open_trace,
+    sniff_format,
+)
+from repro.types import IoOp
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def golden(name):
+    return os.path.join(GOLDEN, name)
+
+
+# ----------------------------------------------------------------------
+# golden-file parses (exact: records AND skip counters)
+# ----------------------------------------------------------------------
+
+#: the clean stream both structured goldens (csv, bin) encode
+STRUCTURED_OPS = [
+    IoOp("read", 0, 0, 4096, 0.001, True),
+    IoOp("write", 1, 8192, 16384, 0.002, False),
+    IoOp("fsync", 1, 0, 0, 0.003, True),
+    IoOp("read", 2, 65536, 131072, 0.004, True),
+    # source record said 0.0035: clamped to the 0.004 high-water mark
+    IoOp("read", 0, 4096, 4096, 0.004, True),
+    IoOp("write", 0, 12288, 8192, 0.008, True),
+]
+
+
+def test_golden_blktrace():
+    reader = open_trace(golden("trace_small.blktrace"))
+    assert isinstance(reader, BlktraceTextReader)
+    ops = list(reader)
+    assert ops == [
+        IoOp("read", 1, 0, 4096, 0.000104, True),
+        IoOp("write", 1, 4096, 8192, 0.000204, True),
+        IoOp("read", 2, 0, 16384, 0.000404, True),
+        # source said 0.000150: clamped to the high-water mark
+        IoOp("write", 3, 0, 4096, 0.000404, True),
+        IoOp("read", 5, 0, 32768, 0.000804, True),
+        IoOp("write", 8, 0, 65536, 0.000904, True),
+    ]
+    stats = reader.stats
+    assert stats.records == 6
+    assert stats.malformed == 2      # prose line + bad timestamp field
+    assert stats.zero_length == 1    # "+ 0" record
+    assert stats.out_of_order == 1
+    assert stats.filtered == 2       # G action + D (discard) rwbs
+    assert stats.first_time == 0.000104
+    assert stats.last_time == 0.000904
+
+
+def test_golden_csv():
+    reader = open_trace(golden("trace_small.csv"))
+    assert isinstance(reader, CsvTraceReader)
+    assert list(reader) == STRUCTURED_OPS
+    stats = reader.stats
+    assert stats.records == 6
+    assert stats.malformed == 3      # unknown op, bad time, negative offset
+    assert stats.zero_length == 1
+    assert stats.out_of_order == 1
+    assert stats.filtered == 0
+
+
+def test_golden_binary():
+    reader = open_trace(golden("trace_small.bin"))
+    assert isinstance(reader, BinaryTraceReader)
+    assert list(reader) == STRUCTURED_OPS
+    stats = reader.stats
+    # unknown op code + truncated 10-byte tail; zero-size read record
+    assert stats.malformed == 2
+    assert stats.zero_length == 1
+    assert stats.out_of_order == 1
+
+
+def test_golden_formats_agree():
+    """CSV and binary goldens encode the same workload byte for byte."""
+    assert list(open_trace(golden("trace_small.csv"))) == list(
+        open_trace(golden("trace_small.bin"))
+    )
+
+
+# ----------------------------------------------------------------------
+# format detection
+# ----------------------------------------------------------------------
+
+def test_sniff_golden_files():
+    assert sniff_format(golden("trace_small.blktrace")) == "blktrace"
+    assert sniff_format(golden("trace_small.csv")) == "csv"
+    assert sniff_format(golden("trace_small.bin")) == "binary"
+
+
+def test_sniff_csv_without_extension(tmp_path):
+    path = tmp_path / "noext"
+    path.write_text("0.1,read,0,0,4096\n")
+    assert sniff_format(str(path)) == "csv"
+
+
+def test_open_trace_unknown_format(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("time,op,file_id,offset,size\n")
+    with pytest.raises(InvalidArgument):
+        open_trace(str(path), fmt="xml")
+
+
+# ----------------------------------------------------------------------
+# writer <-> reader round trip
+# ----------------------------------------------------------------------
+
+def test_binary_round_trip(tmp_path):
+    path = str(tmp_path / "t.bin")
+    ops = [
+        IoOp("read", 7, 4096, 8192, 1.5, True),
+        IoOp("write", 2**40, 2**35, 2**20, 2.25, False),
+        IoOp("fsync", 0, 0, 0, 3.0, True),
+    ]
+    with BinaryTraceWriter(path) as writer:
+        for op in ops:
+            writer.write_op(op)
+    assert writer.written == 3
+    assert os.path.getsize(path) == HEADER_SIZE + 3 * RECORD_SIZE
+    reader = BinaryTraceReader(path)
+    assert list(reader) == ops
+    assert reader.stats.malformed == 0
+
+
+def test_writer_rejects_unknown_op(tmp_path):
+    with BinaryTraceWriter(str(tmp_path / "t.bin")) as writer:
+        with pytest.raises(InvalidArgument):
+            writer.write_op(IoOp("trim", 0, 0, 4096))
+
+
+# ----------------------------------------------------------------------
+# robustness: truncation, bad magic, bad version
+# ----------------------------------------------------------------------
+
+def _write_records(path, count):
+    with BinaryTraceWriter(str(path)) as writer:
+        for i in range(count):
+            writer.write_op(IoOp("read", i, 0, 4096, float(i)))
+
+
+def test_truncated_binary_counted_not_raised(tmp_path):
+    path = tmp_path / "t.bin"
+    _write_records(path, 5)
+    data = path.read_bytes()
+    path.write_bytes(data[:-11])  # kill the last record's tail
+    reader = BinaryTraceReader(str(path))
+    assert len(list(reader)) == 4
+    assert reader.stats.malformed == 1
+
+
+def test_truncated_across_chunk_boundary(tmp_path):
+    """A record straddling the 2048-record chunk seam must survive; a
+    truncated file ending inside the seam must be counted."""
+    path = tmp_path / "t.bin"
+    count = BinaryTraceReader._CHUNK_RECORDS + 3
+    _write_records(path, count)
+    reader = BinaryTraceReader(str(path))
+    assert len(list(reader)) == count
+
+    data = path.read_bytes()
+    cut = HEADER_SIZE + BinaryTraceReader._CHUNK_RECORDS * RECORD_SIZE + 7
+    path.write_bytes(data[:cut])
+    reader = BinaryTraceReader(str(path))
+    assert len(list(reader)) == BinaryTraceReader._CHUNK_RECORDS
+    assert reader.stats.malformed == 1
+
+
+def test_header_only_file(tmp_path):
+    path = tmp_path / "t.bin"
+    _write_records(path, 0)
+    reader = BinaryTraceReader(str(path))
+    assert list(reader) == []
+    assert reader.stats.malformed == 0
+
+
+def test_truncated_header(tmp_path):
+    path = tmp_path / "t.bin"
+    path.write_bytes(BINARY_MAGIC[:2])
+    reader = BinaryTraceReader(str(path))
+    assert list(reader) == []
+    assert reader.stats.malformed == 1
+
+
+def test_bad_magic_raises(tmp_path):
+    path = tmp_path / "t.bin"
+    path.write_bytes(b"NOPE" + b"\x00" * 64)
+    with pytest.raises(InvalidArgument):
+        list(BinaryTraceReader(str(path)))
+
+
+def test_bad_version_raises(tmp_path):
+    path = tmp_path / "t.bin"
+    path.write_bytes(struct.pack("<4sBB2x", BINARY_MAGIC, 99, RECORD_SIZE))
+    with pytest.raises(InvalidArgument):
+        list(BinaryTraceReader(str(path)))
+
+
+# ----------------------------------------------------------------------
+# text-parser robustness
+# ----------------------------------------------------------------------
+
+def test_csv_all_malformed(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("time,op,file_id,offset,size\nnope\nstill,not,a,record\n")
+    reader = CsvTraceReader(str(path))
+    assert list(reader) == []
+    assert reader.stats.malformed == 2
+
+
+def test_blktrace_all_actions_accepted_when_asked(tmp_path):
+    path = tmp_path / "t.txt"
+    line = "8,0 1 1 0.001 9 {a} R 2048 + 8 [x]\n"
+    path.write_text(line.format(a="Q") + line.format(a="C"))
+    default = BlktraceTextReader(str(path))
+    assert len(list(default)) == 1
+    both = BlktraceTextReader(str(path), actions=frozenset({"Q", "C"}))
+    assert len(list(both)) == 2
+
+
+def test_blktrace_region_lifting(tmp_path):
+    path = tmp_path / "t.txt"
+    # sector 10240 * 512B = 5 MiB: region 1, rebased offset 1 MiB
+    path.write_text("8,0 1 1 0.001 9 Q W 10240 + 8 [x]\n")
+    reader = BlktraceTextReader(str(path), region_bytes=4 * 1024 * 1024)
+    (op,) = list(reader)
+    assert op.file_id == 1
+    assert op.offset == 1024 * 1024
+    assert op.size == 4096
+
+
+def test_out_of_order_timestamps_clamped_monotonic(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text(
+        "0.5,read,0,0,4096\n0.1,read,0,0,4096\n0.7,read,0,0,4096\n"
+        "0.2,read,0,0,4096\n"
+    )
+    reader = CsvTraceReader(str(path))
+    times = [op.time for op in reader]
+    assert times == [0.5, 0.5, 0.7, 0.7]
+    assert reader.stats.out_of_order == 2
+    assert times == sorted(times)
