@@ -17,11 +17,21 @@ plane enabled, and condenses each variant into the flat summary shape
 CI job in seconds; the configuration that produced a document is
 fingerprinted into it, so ``repro bench --compare`` can refuse to read
 apples against oranges.
+
+``workers`` shards the per-device synthetic grids and the fileserver
+figure across spawned processes (:mod:`repro.par`).  Each figure runs
+under its own fresh :class:`Instrumentation` in **both** paths — the
+serial loop calls the exact shard function inline — so the sharded
+document is byte-identical to the serial one by construction (the
+determinism tests assert it), and no figure's histograms or float
+accumulation leak into the next.  The ``obs_trace`` figure stays in the
+parent either way (the CLI exports its Chrome trace from the live
+result).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..constants import MIB
 from ..obs import hooks as obs_hooks
@@ -63,16 +73,104 @@ def suite_config(smoke: bool = False) -> Dict[str, object]:
     }
 
 
+# ----------------------------------------------------------------------
+# figure builders (shard units)
+# ----------------------------------------------------------------------
+
+
+def _synthetic_figure(syn: Dict[str, object], device: str) -> Dict[str, object]:
+    """One device's Figure 8/9 grid, condensed to the flat summary."""
+    from .experiments import synthetic_defrag
+
+    result = synthetic_defrag.run(
+        syn["fs_type"], device,
+        file_size=syn["file_size_mib"] * MIB,
+        variants=tuple(syn["variants"]),
+        patterns=tuple(syn["patterns"]),
+    )
+    figure: Dict[str, Dict[str, object]] = {}
+    for variant, per_pattern in result.cells.items():
+        for pattern, cell in per_pattern.items():
+            summary: Dict[str, object] = {
+                "throughput_mbps": cell.throughput_mbps,
+                "defrag_write_mb": cell.defrag_write_mb,
+            }
+            if cell.obs is not None:
+                summary["split_fanout"] = cell.obs.fanout_summary()
+                summary["attribution"] = cell.obs.attribution
+            figure[f"{variant}:{pattern}"] = summary
+    return figure
+
+
+def _fileserver_figure(fsrv: Dict[str, object]) -> Dict[str, object]:
+    """Figure 11's grep cost, condensed to the flat summary."""
+    from .experiments import fig11_fileserver
+
+    result = fig11_fileserver.run(
+        fsrv["device"], file_count=fsrv["file_count"],
+        mean_size=fsrv["mean_size_mib"] * MIB, seed=fsrv["seed"],
+    )
+    figure: Dict[str, Dict[str, object]] = {}
+    for variant, cell in result.cells.items():
+        summary = {
+            "grep_gb_per_s": 1.0 / cell.grep_cost if cell.grep_cost else 0.0,
+            "defrag_write_mb": cell.defrag_write_mb,
+        }
+        if cell.obs is not None:
+            summary["split_fanout"] = cell.obs.fanout_summary()
+            summary["attribution"] = cell.obs.attribution
+        figure[variant] = summary
+    return figure
+
+
+def _bench_shard(payload: Tuple[str, Dict[str, object]]):
+    """Worker entry: one figure under a fresh instrumentation.
+
+    Every figure's numbers are per-variant windowed deltas, so a fresh
+    registry per shard reproduces the serial figures exactly.  The
+    registry snapshot rides back so the parent can merge worker-side
+    counters into the ambient obs plane.
+    """
+    kind, config = payload
+    obs = Instrumentation()
+    with obs_hooks.use(obs):
+        if kind == "fileserver":
+            figure = _fileserver_figure(config["fileserver"])
+        else:
+            figure = _synthetic_figure(config["synthetic"], kind)
+    return figure, obs.registry.to_dict()
+
+
+def _merge_worker_counters(obs, snapshots: List[Dict[str, Dict]]) -> None:
+    """Fold worker registry snapshots into the parent's obs registry.
+
+    Counters add; gauges keep the last shard's reading (shard order, so
+    the merge is deterministic); histograms are windowed per-figure and
+    already live inside the figures, so they are not re-merged.
+    """
+    if not obs.enabled:
+        return
+    registry = obs.registry
+    for snapshot in snapshots:
+        for name, entry in snapshot.items():
+            if entry.get("kind") == "counter":
+                registry.counter(name).inc(entry["value"])
+            elif entry.get("kind") == "gauge":
+                registry.gauge(name).set(entry["value"])
+
+
 def run_suite(
     smoke: bool = False,
     label: str = "local",
     obs: Optional[Instrumentation] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[Dict[str, object], object]:
     """Run the suite; returns ``(bench_document, obs_trace_result)``.
 
     The trace result is returned separately so the CLI can also export
     the Chrome trace (spans + fragmentation timeline) from the same run.
     """
+    from ..par import run_sharded
     from .experiments import fig11_fileserver, obs_trace, synthetic_defrag
 
     config = suite_config(smoke)
@@ -80,44 +178,21 @@ def run_suite(
     if obs is None:
         obs = Instrumentation()
 
-    with obs_hooks.use(obs):
-        syn = config["synthetic"]
-        for device in syn["devices"]:
-            result = synthetic_defrag.run(
-                syn["fs_type"], device,
-                file_size=syn["file_size_mib"] * MIB,
-                variants=tuple(syn["variants"]),
-                patterns=tuple(syn["patterns"]),
-            )
-            figure: Dict[str, Dict[str, object]] = {}
-            for variant, per_pattern in result.cells.items():
-                for pattern, cell in per_pattern.items():
-                    summary: Dict[str, object] = {
-                        "throughput_mbps": cell.throughput_mbps,
-                        "defrag_write_mb": cell.defrag_write_mb,
-                    }
-                    if cell.obs is not None:
-                        summary["split_fanout"] = cell.obs.fanout_summary()
-                        summary["attribution"] = cell.obs.attribution
-                    figure[f"{variant}:{pattern}"] = summary
-            figures[f"synthetic_{syn['fs_type']}_{device}"] = figure
-
-        fsrv = config["fileserver"]
-        result = fig11_fileserver.run(
-            fsrv["device"], file_count=fsrv["file_count"],
-            mean_size=fsrv["mean_size_mib"] * MIB, seed=fsrv["seed"],
+    syn = config["synthetic"]
+    payloads = [(device, config) for device in syn["devices"]]
+    payloads.append(("fileserver", config))
+    # serial and parallel run the same shard function — per-figure
+    # isolation either way, so the documents match by construction
+    sharded = run_sharded(
+        _bench_shard, payloads, workers=workers, label="bench figure"
+    )
+    for (kind, _), (figure, _snapshot) in zip(payloads, sharded):
+        key = (
+            f"fileserver_{config['fileserver']['device']}"
+            if kind == "fileserver" else f"synthetic_{syn['fs_type']}_{kind}"
         )
-        figure = {}
-        for variant, cell in result.cells.items():
-            summary = {
-                "grep_gb_per_s": 1.0 / cell.grep_cost if cell.grep_cost else 0.0,
-                "defrag_write_mb": cell.defrag_write_mb,
-            }
-            if cell.obs is not None:
-                summary["split_fanout"] = cell.obs.fanout_summary()
-                summary["attribution"] = cell.obs.attribution
-            figure[variant] = summary
-        figures[f"fileserver_{fsrv['device']}"] = figure
+        figures[key] = figure
+    _merge_worker_counters(obs, [snap for _, snap in sharded])
 
     # obs_trace manages its own instrumentation context (fresh registry),
     # which keeps its whole-run attribution self-contained

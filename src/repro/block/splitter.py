@@ -65,10 +65,13 @@ def split_ranges(
     """
     commands: List[IoCommand] = []
     append = commands.append
+    extend = commands.extend
     # Construct commands through tuple.__new__ directly: this is the
     # hottest allocation site in the stack (one command per emitted
     # request) and the generated NamedTuple __new__ wrapper costs ~2x a
     # raw tuple fill.  Field order must match IoCommand's declaration.
+    # Full-size caps for a long run are emitted as one list.extend over a
+    # generator — the count is arithmetic, not a subtract-and-test loop.
     new = tuple.__new__
     cur_offset = 0
     cur_length = 0
@@ -79,17 +82,27 @@ def split_ranges(
             cur_length += length
             continue
         if cur_length:
-            while cur_length > max_request_size:
-                append(new(IoCommand, (op, cur_offset, max_request_size, tag, pid)))
-                cur_offset += max_request_size
-                cur_length -= max_request_size
+            caps = (cur_length - 1) // max_request_size
+            if caps:
+                extend(
+                    new(IoCommand, (op, cur_offset + i * max_request_size,
+                                    max_request_size, tag, pid))
+                    for i in range(caps)
+                )
+                cur_offset += caps * max_request_size
+                cur_length -= caps * max_request_size
             append(new(IoCommand, (op, cur_offset, cur_length, tag, pid)))
         cur_offset = offset
         cur_length = length
     if cur_length:
-        while cur_length > max_request_size:
-            append(new(IoCommand, (op, cur_offset, max_request_size, tag, pid)))
-            cur_offset += max_request_size
-            cur_length -= max_request_size
+        caps = (cur_length - 1) // max_request_size
+        if caps:
+            extend(
+                new(IoCommand, (op, cur_offset + i * max_request_size,
+                                max_request_size, tag, pid))
+                for i in range(caps)
+            )
+            cur_offset += caps * max_request_size
+            cur_length -= caps * max_request_size
         append(new(IoCommand, (op, cur_offset, cur_length, tag, pid)))
     return commands

@@ -196,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trace", default=None, metavar="PATH",
                        help="also write the instrumented run's Chrome trace "
                             "(spans + fragmentation timeline)")
+    cli_util.add_workers_arg(bench)
     cli_util.add_document_args(bench, "BENCH", "BENCH", threshold=0.10)
     perf = sub.add_parser(
         "perf",
@@ -205,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="small/fast suite variant (CI smoke job)")
     perf.add_argument("--no-profile", action="store_true",
                       help="skip the bundled cProfile hot-function table")
+    perf.add_argument("--scaling", action="store_true",
+                      help="also measure the parallel engine's scaling "
+                           "curve (workers=1/2/4/8 over a fault-campaign "
+                           "series) and record it in the document")
+    cli_util.add_workers_arg(perf)
     cli_util.add_document_args(
         perf, "PERF", "PERF", threshold=0.20,
         threshold_help="relative regression threshold (default 0.20; "
@@ -252,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also dump the metrics registry as JSON here")
     fleet.add_argument("--prom", default=None, metavar="PATH",
                        help="also dump Prometheus text-format metrics here")
+    cli_util.add_workers_arg(fleet)
     cli_util.add_document_args(fleet, "FLEET", "FLEET", threshold=0.10)
     slo = sub.add_parser(
         "slo",
@@ -336,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--smoke", action="store_true",
                         help="no trace needed: generate a small seeded "
                              "corpus in a temp dir and replay it (CI smoke)")
+    cli_util.add_workers_arg(replay)
     cli_util.add_document_args(replay, "REPLAY", "REPLAY", threshold=0.10)
     faults = sub.add_parser(
         "faults",
@@ -354,6 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="crash sweep targets the in-place migration path")
     faults.add_argument("--json", default=None, metavar="PATH",
                         help="also write the survival report as JSON here")
+    faults.add_argument("--trials", type=int, default=None, metavar="N",
+                        help="also run an N-trial seed-perturbed campaign "
+                             "series (fingerprinted per trial)")
+    cli_util.add_workers_arg(faults)
     return parser
 
 
@@ -444,7 +456,9 @@ def _run_bench(args) -> int:
         return code
 
     label, path = cli_util.document_path(args, "BENCH")
-    document, trace_result = suite.run_suite(smoke=args.smoke, label=label)
+    document, trace_result = suite.run_suite(
+        smoke=args.smoke, label=label, workers=args.workers
+    )
     regression.save(path, document)
     print(f"wrote bench document to {path} "
           f"(schema {document['schema']}, fingerprint {document['fingerprint']})")
@@ -469,8 +483,12 @@ def _run_perf(args) -> int:
         return code
 
     label, path = cli_util.document_path(args, "PERF")
+    scaling = None
+    if args.scaling:
+        scaling = perf.scaling_curve(smoke=args.smoke)
     document, results = perf.run_suite(
-        smoke=args.smoke, label=label, profile=not args.no_profile
+        smoke=args.smoke, label=label, profile=not args.no_profile,
+        workers=args.workers, scaling=scaling,
     )
     perf.save(path, document)
     print(f"wrote perf document to {path} "
@@ -542,9 +560,9 @@ def _run_fleet(args) -> int:
     if armed:
         obs = Instrumentation()
         with obs_hooks.use(obs):
-            report = run_fleet(config, slo=monitor)
+            report = run_fleet(config, slo=monitor, workers=args.workers)
     else:
-        report = run_fleet(config, slo=monitor)
+        report = run_fleet(config, slo=monitor, workers=args.workers)
 
     print(report.text())
     _, path = cli_util.document_path(args, "FLEET")
@@ -645,7 +663,7 @@ def _run_replay(args) -> int:
     if args.generate is not None:
         profile = TraceProfile(ops=args.generate, seed=args.seed,
                                files=args.files)
-        written = generate_trace(args.out, profile)
+        written = generate_trace(args.out, profile, workers=args.workers)
         size = os.path.getsize(args.out)
         print(f"wrote {written} records ({size} bytes) to {args.out} "
               f"(seed {args.seed}, {args.files} files)")
@@ -685,6 +703,8 @@ def _run_faults(args) -> int:
         fs_type=args.fs_type,
         devices=args.devices,
         smoke=args.smoke,
+        workers=args.workers,
+        trials=args.trials,
     )
     print(report.text())
     if args.json:

@@ -46,6 +46,19 @@ def add_document_args(
     )
 
 
+def add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--workers N`` flag (default: serial path).
+
+    Every verb that accepts it routes through :mod:`repro.par`, whose
+    canonical merge makes the parallel output byte-identical to serial.
+    """
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the run across N worker processes (default: serial; "
+             "output is byte-identical either way)",
+    )
+
+
 def document_path(args: argparse.Namespace, prefix: str) -> Tuple[str, str]:
     """Resolve the (label, output path) pair for a document run."""
     label = args.label or ("smoke" if getattr(args, "smoke", False) else "full")

@@ -104,6 +104,18 @@ class CommandPlan:
     penalty_time: float = 0.0
 
 
+def extend_sums(sums: list, n: int, step: float) -> None:
+    """Grow a repeated-addition prefix table so ``sums[n]`` is valid.
+
+    ``sums[k]`` is the float produced by ``k`` successive ``+= step``
+    additions starting from 0.0 — bit-identical to the accumulation
+    loops the batch planners replaced (``k * step`` rounds differently),
+    which the pinned virtual-time baselines require.
+    """
+    while len(sums) <= n:
+        sums.append(sums[-1] + step)
+
+
 @dataclass(frozen=True)
 class BatchResult:
     """Outcome of submitting one command batch."""

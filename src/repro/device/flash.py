@@ -21,7 +21,7 @@ from typing import Dict, Optional, Tuple
 
 from ..block.request import IoCommand, IoOp
 from ..constants import BLOCK_SIZE, GIB
-from .base import CommandPlan, StorageDevice
+from .base import CommandPlan, StorageDevice, extend_sums as _extend_sums
 from .ftl import PageMappingFtl
 
 #: bound on the read-plan memo (cleared wholesale on FTL mutation)
@@ -68,6 +68,10 @@ class FlashSsd(StorageDevice):
         # generation moves (any write/discard can re-home pages).
         self._read_plan_cache: "OrderedDict[Tuple[int, int], CommandPlan]" = OrderedDict()
         self._read_plan_gen = self.ftl.generation
+        # repeated-addition prefix table (see base.extend_sums): keeps
+        # batch-counted channel totals bit-identical to the old
+        # accumulation loop
+        self._read_sums = [0.0]
         self._discard_overhead_plan = CommandPlan(
             controller_time=params.command_overhead + params.discard_per_command
         )
@@ -92,14 +96,19 @@ class FlashSsd(StorageDevice):
             if plan is not None:
                 cache.move_to_end(key)
                 return plan
-            channel_of = self.ftl.channel_of
-            page_read = self.params.page_read
-            for lpn in self._pages_of(command):
-                channel = channel_of(lpn)
-                per_channel[channel] = per_channel.get(channel, 0.0) + page_read
+            # batch mapping lookup in the FTL, then one table lookup per
+            # occupied channel (first-occurrence order, like the old loop)
+            first = command.offset // BLOCK_SIZE
+            last = (command.end - 1) // BLOCK_SIZE
+            counts = self.ftl.channel_counts(first, last)
+            sums = self._read_sums
+            if counts:
+                _extend_sums(sums, max(counts.values()), self.params.page_read)
             plan = CommandPlan(
                 controller_time=self.params.command_overhead,
-                unit_work=tuple(per_channel.items()),
+                unit_work=tuple(
+                    (channel, sums[n]) for channel, n in counts.items()
+                ),
                 link_bytes=command.length,
             )
             if len(cache) >= READ_PLAN_CACHE_ENTRIES:

@@ -18,6 +18,7 @@ Implements the flash behaviour the paper leans on in Sections 2.2/3.3:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -95,6 +96,26 @@ class PageMappingFtl:
         if entry is None:
             return lpn % self.channels
         return entry[0].channel
+
+    def channel_counts(self, first: int, last: int) -> "Counter":
+        """Pages-per-channel for a read of lpns ``first..last`` inclusive.
+
+        Batch form of :meth:`channel_of`: one C-level ``Counter.update``
+        over a generator instead of a per-page dict-accumulation loop in
+        the device model.  Counter is a dict subclass, so iteration
+        order is first-occurrence order — the same order the old loop's
+        accumulator dict had, which the plan's ``unit_work`` tuple (and
+        every fingerprinted document hashing it) depends on.
+        """
+        mapping_get = self.mapping.get
+        channels = self.channels
+        counts: Counter = Counter()
+        counts.update(
+            entry[0].channel if (entry := mapping_get(lpn)) is not None
+            else lpn % channels
+            for lpn in range(first, last + 1)
+        )
+        return counts
 
     @property
     def write_amplification(self) -> float:

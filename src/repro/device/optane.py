@@ -19,11 +19,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..block.request import IoCommand, IoOp
 from ..constants import BLOCK_SIZE, GIB
-from .base import CommandPlan, StorageDevice
+from .base import CommandPlan, StorageDevice, extend_sums as _extend_sums
 
 #: bound on the per-device plan memo (op x bank phase x page count keys)
 PLAN_CACHE_ENTRIES = 4096
@@ -64,6 +64,13 @@ class OptaneSsd(StorageDevice):
         self._discard_plan = CommandPlan(
             controller_time=params.command_overhead + params.discard_per_command
         )
+        # Repeated-addition prefix tables: _sums[step][n] is exactly the
+        # float the old per-page loop produced after n additions of
+        # `step` — bank totals must stay bit-identical to that loop
+        # (bench-guard pins virtual-time figures to the last ulp), so
+        # closed-form `n * step` is off the table.
+        self._read_sums: List[float] = [0.0]
+        self._write_sums: List[float] = [0.0]
 
     def bank_of(self, lpn: int) -> int:
         """Banks interleave at page granularity by address (in-place)."""
@@ -81,15 +88,27 @@ class OptaneSsd(StorageDevice):
         if plan is not None:
             cache.move_to_end(key)
             return plan
-        page_time = params.page_read if command.op is IoOp.READ else params.page_write
-        per_bank: Dict[int, float] = {}
+        # Closed-form bank layout: pages interleave round-robin from the
+        # first page's bank, so bank (phase+k)%banks serves base+1 pages
+        # for k < rem and base pages otherwise — no per-page loop.  Tuple
+        # order matches the old loop's first-occurrence order.
+        if command.op is IoOp.READ:
+            page_time, sums = params.page_read, self._read_sums
+        else:
+            page_time, sums = params.page_write, self._write_sums
         banks = params.banks
-        for lpn in range(first, last + 1):
-            bank = lpn % banks
-            per_bank[bank] = per_bank.get(bank, 0.0) + page_time
+        pages = last - first + 1
+        base, rem = divmod(pages, banks)
+        phase = first % banks
+        occupied = min(banks, pages)
+        _extend_sums(sums, base + 1, page_time)
+        high, low = sums[base + 1], sums[base]
         plan = CommandPlan(
             controller_time=params.command_overhead,
-            unit_work=tuple(per_bank.items()),
+            unit_work=tuple(
+                ((phase + k) % banks, high if k < rem else low)
+                for k in range(occupied)
+            ),
             link_bytes=command.length,
         )
         if len(cache) >= PLAN_CACHE_ENTRIES:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from ..constants import KIB
@@ -142,6 +142,78 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
 
 
 # ----------------------------------------------------------------------
+# campaign series (many independent storms)
+# ----------------------------------------------------------------------
+
+@dataclass
+class CampaignSeries:
+    """N independent storms: trial ``t`` replays the campaign at
+    ``base.seed + t``.
+
+    Trials share no state, so they shard across workers
+    (:mod:`repro.par`); the series fingerprint hashes the per-trial
+    fingerprints in trial order and must match the serial run exactly.
+    """
+
+    base: CampaignConfig
+    trials: List[CampaignResult]
+    fingerprint: str
+
+    @property
+    def ok(self) -> bool:
+        return all(
+            t.data_intact and not t.pending_after_recovery for t in self.trials
+        )
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(t.faults_injected for t in self.trials)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.base.seed,
+            "device": self.base.device,
+            "fs_type": self.base.fs_type,
+            "trials": len(self.trials),
+            "faults_injected": self.faults_injected,
+            "retries": sum(t.report.retries for t in self.trials),
+            "files_skipped": sum(t.report.ranges_failed for t in self.trials),
+            "data_intact": all(t.data_intact for t in self.trials),
+            "trial_fingerprints": [t.fingerprint for t in self.trials],
+            "fingerprint": self.fingerprint,
+        }
+
+
+def series_fingerprint(results: List[CampaignResult]) -> str:
+    """Digest over the per-trial fingerprints, in trial order."""
+    digest = hashlib.sha256()
+    for result in results:
+        digest.update(result.fingerprint.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+def run_campaign_series(
+    config: Optional[CampaignConfig] = None,
+    trials: int = 8,
+    workers: Optional[int] = None,
+) -> CampaignSeries:
+    """Run ``trials`` independent storms (seed, seed+1, ...)."""
+    from ..par import run_sharded
+
+    config = config if config is not None else CampaignConfig()
+    payloads = [replace(config, seed=config.seed + t) for t in range(trials)]
+    results = run_sharded(
+        run_campaign, payloads, workers=workers, label="campaign trial"
+    )
+    return CampaignSeries(
+        base=config,
+        trials=list(results),
+        fingerprint=series_fingerprint(results),
+    )
+
+
+# ----------------------------------------------------------------------
 # the `repro faults` survival report
 # ----------------------------------------------------------------------
 
@@ -151,6 +223,7 @@ class SurvivalReport:
 
     sweeps: List[object] = field(default_factory=list)  # CrashSweepReport
     campaign: Optional[CampaignResult] = None
+    series: Optional[CampaignSeries] = None
 
     @property
     def ok(self) -> bool:
@@ -159,6 +232,8 @@ class SurvivalReport:
         if self.campaign is not None:
             if not self.campaign.data_intact or self.campaign.pending_after_recovery:
                 return False
+        if self.series is not None and not self.series.ok:
+            return False
         return True
 
     def text(self) -> str:
@@ -182,6 +257,17 @@ class SurvivalReport:
                 lines.append(f"    {path}: {reason}")
             lines.append(f"  data intact     : {'yes' if result.data_intact else 'NO'}")
             lines.append(f"  fingerprint     : {result.fingerprint}")
+        if self.series is not None:
+            series = self.series
+            lines.append("")
+            lines.append(
+                f"campaign series ({len(series.trials)} trials, seeds "
+                f"{series.base.seed}..{series.base.seed + len(series.trials) - 1}):"
+            )
+            lines.append(f"  faults injected : {series.faults_injected}")
+            intact = sum(1 for t in series.trials if t.data_intact)
+            lines.append(f"  trials intact   : {intact}/{len(series.trials)}")
+            lines.append(f"  fingerprint     : {series.fingerprint}")
         lines.append("")
         lines.append(f"verdict: {'SURVIVED' if self.ok else 'DATA LOSS'}")
         return "\n".join(lines)
@@ -191,6 +277,7 @@ class SurvivalReport:
             "ok": self.ok,
             "sweeps": [sweep.to_dict() for sweep in self.sweeps],
             "campaign": self.campaign.to_dict() if self.campaign else None,
+            "series": self.series.to_dict() if self.series else None,
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -201,20 +288,33 @@ def survival_report(
     fs_type: str = "ext4",
     devices: Optional[List[str]] = None,
     smoke: bool = False,
+    workers: Optional[int] = None,
+    trials: Optional[int] = None,
 ) -> SurvivalReport:
     """The full `repro faults` run.
 
     ``smoke`` keeps CI fast: one device, FragPicker only, a small storm.
     Otherwise both tools are swept on every requested device model.
+    ``workers`` shards the crash sweeps and (with ``trials``) the
+    campaign series across processes; the report is byte-identical to
+    the serial run either way.
     """
     out = SurvivalReport()
     sweep_devices = devices if devices is not None else [device]
     tools = ("fragpicker",) if smoke else TOOLS
     for dev in sweep_devices:
         for tool in tools:
-            out.sweeps.append(crash_sweep(device=dev, fs_type=fs_type, tool=tool, seed=seed))
+            out.sweeps.append(crash_sweep(
+                device=dev, fs_type=fs_type, tool=tool, seed=seed,
+                workers=workers,
+            ))
     files = 2 if smoke else 4
     out.campaign = run_campaign(
         CampaignConfig(seed=seed, device=device, fs_type=fs_type, files=files)
     )
+    if trials:
+        out.series = run_campaign_series(
+            CampaignConfig(seed=seed, device=device, fs_type=fs_type, files=files),
+            trials=trials, workers=workers,
+        )
     return out

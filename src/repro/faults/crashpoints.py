@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..constants import GIB, KIB
 from ..core import FragPicker, MigrationJournal
@@ -177,6 +177,31 @@ class CrashSweepReport:
         }
 
 
+def _run_crash_point(payload: Tuple) -> CrashPointResult:
+    """One kill-and-recover cycle from a fresh scenario (shard unit)."""
+    device, fs_type, tool, files, pieces, piece_size, seed, point = payload
+    plan = FaultPlan(seed).crash("fs", after_ops=point)
+    plane = fault_hooks.FaultPlane(plan)
+    with fault_hooks.use(plane):
+        scenario = build_scenario(device, fs_type, files=files, pieces=pieces,
+                                  piece_size=piece_size)
+        before = scenario.contents()
+        journal, run = _make_tool(scenario, tool)
+        plane.activate()
+        crashed = False
+        try:
+            _run_quietly(run)
+        except InjectedCrash:
+            crashed = True
+        plane.deactivate()
+        # "reboot": the dead process's locks are gone; replay the journal
+        _, recovery = journal.recover(scenario.fs, now=scenario.now)
+        after = scenario.contents()
+    site = plane.stats.fires[-1].site if plane.stats.fires else "(completed)"
+    recovered = after == before and len(journal) == 0
+    return CrashPointResult(point, site, crashed, recovered, recovery)
+
+
 def crash_sweep(
     device: str = "optane",
     fs_type: str = "ext4",
@@ -185,32 +210,27 @@ def crash_sweep(
     pieces: int = 8,
     piece_size: int = 4 * KIB,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> CrashSweepReport:
-    """Kill the migration at every enumerated point and verify recovery."""
+    """Kill the migration at every enumerated point and verify recovery.
+
+    Every crash point starts from an identical fresh scenario, so points
+    are independent: ``workers`` shards them across spawned processes
+    (:mod:`repro.par`) and the report is byte-identical to the serial
+    sweep — results are merged in point order regardless of completion.
+    """
+    from ..par import run_sharded
+
     def factory() -> Scenario:
         return build_scenario(device, fs_type, files=files, pieces=pieces,
                               piece_size=piece_size)
 
     total = count_migration_syscalls(factory, tool)
-    results: List[CrashPointResult] = []
-    for point in range(1, total + 1):
-        plan = FaultPlan(seed).crash("fs", after_ops=point)
-        plane = fault_hooks.FaultPlane(plan)
-        with fault_hooks.use(plane):
-            scenario = factory()
-            before = scenario.contents()
-            journal, run = _make_tool(scenario, tool)
-            plane.activate()
-            crashed = False
-            try:
-                _run_quietly(run)
-            except InjectedCrash:
-                crashed = True
-            plane.deactivate()
-            # "reboot": the dead process's locks are gone; replay the journal
-            _, recovery = journal.recover(scenario.fs, now=scenario.now)
-            after = scenario.contents()
-        site = plane.stats.fires[-1].site if plane.stats.fires else "(completed)"
-        recovered = after == before and len(journal) == 0
-        results.append(CrashPointResult(point, site, crashed, recovered, recovery))
-    return CrashSweepReport(device, fs_type, tool, results)
+    payloads = [
+        (device, fs_type, tool, files, pieces, piece_size, seed, point)
+        for point in range(1, total + 1)
+    ]
+    results = run_sharded(
+        _run_crash_point, payloads, workers=workers, label="crash point"
+    )
+    return CrashSweepReport(device, fs_type, tool, list(results))

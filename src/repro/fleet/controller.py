@@ -274,6 +274,7 @@ def run_fleet(
     config: FleetConfig,
     slo: Optional[FleetSlo] = None,
     on_tick=None,
+    workers: Optional[int] = None,
 ) -> FleetReport:
     """Build the fleet, run the scheduler, return the SLO report.
 
@@ -287,7 +288,22 @@ def run_fleet(
     alerts + admission gating); ``on_tick(controller, tick, row)`` is
     called after every tick — the ``repro watch`` dashboard's frame
     hook.
+
+    ``workers`` shards the volumes across persistent worker processes
+    (:mod:`repro.fleet.par`); the report is byte-identical to the serial
+    run.  Incompatible with ``on_tick`` (there is no live controller to
+    hand to the hook) and with ``config.faults`` (one global storm).
     """
+    if workers is not None:
+        from ..errors import InvalidArgument
+        from .par import run_fleet_parallel
+
+        if on_tick is not None:
+            raise InvalidArgument(
+                "--workers is incompatible with a live on_tick hook "
+                "(repro watch); run the dashboard serially"
+            )
+        return run_fleet_parallel(config, workers, slo=slo)
     if not config.faults:
         return _run(config, slo=slo, on_tick=on_tick)
     plane = FaultPlane(config.fault_plan())

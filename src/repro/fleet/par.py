@@ -1,0 +1,396 @@
+"""Parallel fleet ticks: volumes sharded across persistent workers.
+
+Volumes never share a device, so a tick's per-volume marches are
+independent — except for the fleet-wide :class:`TickBudget`, which
+running defrag jobs draw from in spec order.  The sharded run keeps the
+serial run's exact semantics (the FLEET document is byte-identical,
+asserted by the determinism tests) by splitting a tick into:
+
+- **serial job marches**: each running job's volume is marched one at a
+  time in spec order; the parent sends the budget's current tick spend
+  down with the call, the worker replays the draw sequence against a
+  local budget preset to that spend, and the parent applies the
+  returned reservation delta before marching the next job.  Budget
+  arithmetic is integer, so the replayed sequence is exact.
+- **fan-out plain marches**: every job-less volume runs its foreground
+  loop concurrently across the shards (the bulk of the fleet, and the
+  part that actually parallelises).
+
+Admission, cooldown, census triggering, SLO gating, and the report all
+stay in the parent, fed by values returned from the shards; per-volume
+state (filesystems, jobs, samplers, RNG streams) lives its whole life
+inside one worker, so no simulation state ever crosses a process
+boundary mid-run.
+
+Sharding is rejected for ``config.faults`` runs: the fleet storm is one
+globally-seeded :class:`FaultPlane` whose RNG streams advance across
+volumes — splitting it would change which volume each fault hits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import InvalidArgument
+from ..obs import hooks as obs_hooks
+from ..par import StickyPool, resolve_workers
+from .admission import AdmissionController, TickBudget
+from .jobs import DefragJob, FAILED, RUNNING
+from .report import FleetReport, TickRow, percentile
+from .spec import FleetConfig, make_volume_specs
+
+
+class FleetShard:
+    """Worker-side state: this shard's volumes and their jobs."""
+
+    def __init__(self, config: FleetConfig, indices: List[int]) -> None:
+        from .volume import Volume
+
+        self.config = config
+        specs = make_volume_specs(config)
+        self.volumes: Dict[str, "Volume"] = {}
+        for index in indices:
+            volume = Volume(specs[index], config)
+            volume.sampler.attach()  # the fleet-wide attach
+            self.volumes[volume.spec.name] = volume
+        self.jobs: Dict[str, DefragJob] = {}
+        self._finished: List[DefragJob] = []
+
+    def census(self) -> Dict[str, float]:
+        return {
+            name: volume.frag_level() for name, volume in self.volumes.items()
+        }
+
+    def admit(self, name: str, tick: int) -> str:
+        job = DefragJob(self.volumes[name], self.config, tick)
+        self.jobs[name] = job
+        job.volume.sampler.attach()  # nested attach, like the controller
+        return job.state
+
+    def march_job(
+        self, name: str, tick: int, spent_this_tick: int
+    ) -> Dict[str, object]:
+        """Co-schedule one running job with its volume's foreground.
+
+        The local budget starts at the parent's current tick spend, so
+        every ``try_reserve`` sees exactly the number the serial run's
+        shared budget would have shown it.
+        """
+        from ..sim.engine import run_concurrently
+
+        volume = self.volumes[name]
+        job = self.jobs[name]
+        budget = TickBudget(self.config.budget_per_tick)
+        budget.spent_this_tick = spent_this_tick
+        _, window_end = volume.window(tick)
+        ops_before = volume.fg_ops
+        reads_before = len(volume.read_latencies)
+        contexts = run_concurrently(
+            {
+                "fg": volume.foreground_actor(
+                    window_end, self.config.fg_ops_per_tick
+                ),
+                "defrag": job.actor(budget, window_end),
+            },
+            start=volume.now,
+            until=window_end,
+        )
+        end = max(ctx.now for ctx in contexts.values())
+        volume.now = max(volume.now, window_end, end)
+        return {
+            "reserved": budget.spent_this_tick - spent_this_tick,
+            "state": job.state,
+            "fg_ops": volume.fg_ops - ops_before,
+            "latencies": volume.read_latencies[reads_before:],
+            "now": volume.now,
+        }
+
+    def march_plain(
+        self, tick: int, names: List[str]
+    ) -> Dict[str, Dict[str, object]]:
+        """Foreground-only marches for this shard's job-less volumes."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in names:
+            volume = self.volumes[name]
+            _, window_end = volume.window(tick)
+            ops_before = volume.fg_ops
+            reads_before = len(volume.read_latencies)
+            volume.run_foreground(window_end, self.config.fg_ops_per_tick)
+            out[name] = {
+                "fg_ops": volume.fg_ops - ops_before,
+                "latencies": volume.read_latencies[reads_before:],
+                "now": volume.now,
+            }
+        return out
+
+    def retire(self, name: str) -> None:
+        job = self.jobs.pop(name)
+        job.volume.sampler.detach()
+        self._finished.append(job)
+
+    def finalize(self, still_running: List[str]) -> Dict[str, object]:
+        """Abandon leftover jobs, then return the report contributions."""
+        for name in still_running:
+            job = self.jobs.pop(name)
+            job.abandon(job.volume.now)
+            self._finished.append(job)
+        jobs = {
+            "defrag_read_bytes": 0, "defrag_write_bytes": 0,
+            "ranges_migrated": 0, "ranges_failed": 0, "retries": 0,
+            "jobs_budget_blocked_ticks": 0, "recovered_entries": 0,
+            "journal_pending": 0,
+        }
+        for job in self._finished:
+            job_report = job.report
+            jobs["defrag_read_bytes"] += job_report.read_bytes
+            jobs["defrag_write_bytes"] += job_report.write_bytes
+            jobs["ranges_migrated"] += job_report.ranges_migrated
+            jobs["ranges_failed"] += job_report.ranges_failed
+            jobs["retries"] += job_report.retries
+            jobs["jobs_budget_blocked_ticks"] += job.blocked_ticks
+            jobs["recovered_entries"] += job.recovered_entries
+            jobs["journal_pending"] += len(job.picker.journal)
+        volumes = {
+            name: {
+                "latencies": volume.read_latencies,
+                "fg_ops": volume.fg_ops,
+                "fg_errors": volume.fg_errors,
+            }
+            for name, volume in self.volumes.items()
+        }
+        return {"jobs": jobs, "volumes": volumes}
+
+    def close(self) -> None:
+        for volume in self.volumes.values():
+            volume.close()
+
+
+def _build_fleet_shard(payload: Tuple[FleetConfig, List[int]]) -> FleetShard:
+    config, indices = payload
+    return FleetShard(config, indices)
+
+
+def run_fleet_parallel(config: FleetConfig, workers: int, slo=None) -> FleetReport:
+    """Run the fleet with volumes sharded across ``workers`` processes.
+
+    Byte-identical to :func:`repro.fleet.controller.run_fleet` for the
+    same config (any worker count, including 1).  Fault storms cannot be
+    sharded — pass ``workers=None``/omit ``--workers`` for those.
+    """
+    from .controller import run_fleet
+
+    workers = resolve_workers(workers)
+    if workers is None or config.volumes == 0:
+        return run_fleet(config, slo=slo)
+    if config.faults:
+        raise InvalidArgument(
+            "--workers cannot shard a fleet fault storm: the storm is one "
+            "globally-seeded plane whose RNG streams span volumes"
+        )
+
+    specs = make_volume_specs(config)
+    shard_count = min(workers, len(specs))
+    assignments = [
+        list(range(shard, len(specs), shard_count))
+        for shard in range(shard_count)
+    ]
+    owner: Dict[str, int] = {}
+    for shard, indices in enumerate(assignments):
+        for index in indices:
+            owner[specs[index].name] = shard
+
+    budget = TickBudget(config.budget_per_tick)
+    admission = AdmissionController(config.max_jobs, budget)
+    cooldown_until: Dict[str, int] = {}
+    report_config = config.to_dict()
+    if slo is not None:
+        report_config["slo"] = slo.config_dict()
+    report = FleetReport(config=report_config, volumes=len(specs))
+    job_states: Dict[str, str] = {}
+    volume_nows: Dict[str, float] = {}
+    jobs_finished_totals: Optional[Dict[str, int]] = None
+
+    def queue_triggered(levels: Dict[str, float], tick: int) -> None:
+        for spec in specs:
+            if levels[spec.name] <= config.trigger:
+                continue
+            if tick < cooldown_until.get(spec.name, 0):
+                continue
+            admission.request(spec.name)
+
+    def fleet_census(pool: StickyPool) -> Dict[str, float]:
+        levels: Dict[str, float] = {}
+        for shard_levels in pool.call_all("census"):
+            levels.update(shard_levels)
+        return levels
+
+    def mirror_tick(row: TickRow) -> None:
+        obs = obs_hooks.current()
+        if not obs.enabled:
+            return
+        now = max(volume_nows.values(), default=0.0)
+        obs.event(
+            "fleet.tick", now, track="fleet",
+            tick=row.tick, volumes_above=row.volumes_above,
+            migrated_bytes=row.migrated_bytes,
+            jobs_running=row.jobs_running, jobs_waiting=row.jobs_waiting,
+        )
+        registry = obs.registry
+        registry.gauge("fleet.volumes_above").set(row.volumes_above)
+        registry.gauge("fleet.jobs_running").set(row.jobs_running)
+        registry.gauge("fleet.jobs_waiting").set(row.jobs_waiting)
+        registry.counter("fleet.migrated_bytes").inc(row.migrated_bytes)
+        registry.counter("fleet.fg_ops").inc(row.fg_ops)
+
+    with StickyPool(
+        _build_fleet_shard,
+        [(config, indices) for indices in assignments],
+        label="fleet shard",
+    ) as pool:
+        # begin(): initial census + trigger pass
+        levels = fleet_census(pool)
+        report.volumes_above_start = sum(
+            1 for level in levels.values() if level > config.trigger
+        )
+        queue_triggered(levels, tick=0)
+
+        for tick in range(config.ticks):
+            budget.begin_tick()
+            admitted = []
+            while admission.queue and len(admission.running) < config.max_jobs:
+                name = admission.queue.popleft()
+                job_states[name] = pool.call(owner[name], "admit", name, tick)
+                admission.running[name] = name
+                admission.admitted += 1
+                admitted.append(name)
+            admission.deferred_ticks += len(admission.queue)
+            jobs_running = len(admission.running)
+
+            # job marches: serial, spec order — the budget draw sequence
+            fg_ops_total = 0
+            tick_latencies: Dict[str, List[float]] = {}
+            plain_names: Dict[int, List[str]] = {}
+            for spec in specs:
+                name = spec.name
+                if name in admission.running and job_states[name] == RUNNING:
+                    outcome = pool.call(
+                        owner[name], "march_job", name, tick,
+                        budget.spent_this_tick,
+                    )
+                    budget.spent_this_tick += outcome["reserved"]
+                    budget.spent_total += outcome["reserved"]
+                    job_states[name] = outcome["state"]
+                    fg_ops_total += outcome["fg_ops"]
+                    tick_latencies[name] = outcome["latencies"]
+                    volume_nows[name] = outcome["now"]
+                else:
+                    plain_names.setdefault(owner[name], []).append(name)
+            # plain marches: all shards concurrently
+            marched = pool.call_each([
+                (shard, "march_plain", (tick, names))
+                for shard, names in plain_names.items()
+            ])
+            for shard_out in marched:
+                for name, outcome in shard_out.items():
+                    fg_ops_total += outcome["fg_ops"]
+                    tick_latencies[name] = outcome["latencies"]
+                    volume_nows[name] = outcome["now"]
+
+            # retire in running-map insertion order, like the controller
+            for name in list(admission.running):
+                if job_states[name] != RUNNING:
+                    admission.finish(name, failed=job_states[name] == FAILED)
+                    cooldown_until[name] = tick + 1 + config.cooldown_ticks
+                    pool.call(owner[name], "retire", name)
+                    del job_states[name]
+
+            levels = fleet_census(pool)
+            queue_triggered(levels, tick + 1)
+            row = TickRow(
+                tick=tick,
+                volumes_above=sum(
+                    1 for level in levels.values() if level > config.trigger
+                ),
+                migrated_bytes=budget.spent_this_tick,
+                jobs_running=jobs_running,
+                jobs_admitted=len(admitted),
+                jobs_waiting=len(admission.queue),
+                fg_ops=fg_ops_total,
+            )
+            report.ticks.append(row)
+            mirror_tick(row)
+            if slo is not None:
+                latencies = {
+                    spec.name: tick_latencies.get(spec.name, [])
+                    for spec in specs
+                }
+                _, promote = slo.record_tick(tick, row, latencies, len(specs))
+                for name in promote:
+                    if admission.promote(name):
+                        slo.record_promotion(tick, name)
+
+        # finish(): close the budget, gather every shard's contribution
+        budget.close()
+        still_running = sorted(admission.running)
+        by_shard: Dict[int, List[str]] = {}
+        for name in still_running:
+            by_shard.setdefault(owner[name], []).append(name)
+        finals = pool.call_each([
+            (shard, "finalize", (by_shard.get(shard, []),))
+            for shard in range(len(assignments))
+        ])
+        jobs_finished_totals = {
+            key: sum(final["jobs"][key] for final in finals)
+            for key in finals[0]["jobs"]
+        }
+        volume_finals: Dict[str, Dict[str, object]] = {}
+        for final in finals:
+            volume_finals.update(final["volumes"])
+
+    report.jobs_admitted = admission.admitted
+    report.jobs_completed = admission.completed
+    report.jobs_failed = admission.failed
+    report.jobs_still_running = len(admission.running)
+    report.jobs_deferred_ticks = admission.deferred_ticks
+    report.migrated_payload_bytes = budget.spent_total
+    report.defrag_read_bytes = jobs_finished_totals["defrag_read_bytes"]
+    report.defrag_write_bytes = jobs_finished_totals["defrag_write_bytes"]
+    report.ranges_migrated = jobs_finished_totals["ranges_migrated"]
+    report.ranges_failed = jobs_finished_totals["ranges_failed"]
+    report.retries = jobs_finished_totals["retries"]
+    report.jobs_budget_blocked_ticks = (
+        jobs_finished_totals["jobs_budget_blocked_ticks"]
+    )
+    report.recovered_entries = jobs_finished_totals["recovered_entries"]
+    report.journal_pending = jobs_finished_totals["journal_pending"]
+    latencies: List[float] = []
+    for spec in specs:  # global spec order, like the serial concatenation
+        final = volume_finals[spec.name]
+        latencies.extend(final["latencies"])
+        report.fg_ops += final["fg_ops"]
+        report.fg_errors += final["fg_errors"]
+    report.fg_read_count = len(latencies)
+    report.fg_read_p50_s = percentile(latencies, 0.50)
+    report.fg_read_p99_s = percentile(latencies, 0.99)
+    report.fg_read_mean_s = (
+        sum(latencies) / len(latencies) if latencies else 0.0
+    )
+    report.fg_read_max_s = max(latencies, default=0.0)
+    if report.ticks:
+        report.volumes_above_end = report.ticks[-1].volumes_above
+    if slo is not None:
+        report.slo = slo.report_section()
+
+    obs = obs_hooks.current()
+    if obs.enabled:
+        registry = obs.registry
+        histogram = registry.histogram("fleet.fg_read_latency_s")
+        for latency in latencies:
+            histogram.observe(latency)
+        registry.counter("fleet.jobs_admitted").inc(admission.admitted)
+        registry.counter("fleet.jobs_completed").inc(admission.completed)
+        registry.counter("fleet.jobs_failed").inc(admission.failed)
+        registry.counter("fleet.jobs_deferred_ticks").inc(
+            admission.deferred_ticks
+        )
+    return report

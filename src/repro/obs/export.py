@@ -173,6 +173,10 @@ METRIC_HELP: Dict[str, str] = {
     "fleet.fg_read_latency_s": "foreground read latency in seconds",
     "slo.breaches": "SLO windows whose bad fraction exceeded the budget",
     "slo.alerts": "multi-window burn-rate alerts fired",
+    "par.plans": "parallel plans executed (sharded fan-outs)",
+    "par.shards": "work shards dispatched to worker processes",
+    "par.shard_timeouts": "shards that exceeded their wall-clock timeout",
+    "par.serial_fallbacks": "plans re-executed serially after a timeout",
     # '*' patterns (exact names above win over these)
     "fs.syscall.*": "filesystem syscalls issued, by operation",
     "fs.syscall_latency.*": "per-syscall latency in virtual seconds",

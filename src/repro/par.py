@@ -1,0 +1,387 @@
+"""Deterministic fan-out across worker processes.
+
+Every heavy run in this repo — fault campaigns, crash-point sweeps, the
+bench/perf suites, fleet ticks, corpus generation — is seed-keyed and
+decomposes into independent shards.  This module executes those shards
+on N spawned interpreters while keeping every fingerprinted document
+**byte-identical to the serial run**: results are collected in shard
+order (never completion order), floats are merged in the same order the
+serial code would have produced them, and workers start from scrubbed
+process-global state.
+
+Two execution shapes:
+
+- :class:`ParallelPlan` — stateless shards through a spawn-context
+  ``ProcessPoolExecutor``.  One payload in, one result out; a shard that
+  raises surfaces as :class:`ShardError` carrying the shard index, and
+  every already-collected partial result is discarded.  A per-shard
+  wall-clock timeout degrades gracefully: the straggler is cancelled and
+  its payload re-executed serially in the parent, counted in the
+  ``par.shard_timeouts`` / ``par.serial_fallbacks`` metrics — work is
+  never silently dropped.
+- :class:`StickyPool` — N persistent spawned workers each hosting one
+  long-lived stateful shard (the fleet's volumes), driven over pipes
+  with a ``call``/``call_all``/``call_each`` protocol.  Used where
+  shards must retain state across rounds (fleet ticks).
+
+``workers=None`` everywhere means the legacy serial path — byte-for-byte
+the pre-parallel code — so committed baselines and CI stay valid; any
+``workers >= 1`` goes through the engine (``--workers 1`` must equal
+``--workers 4``, which the determinism tests assert).
+
+Spawn (not fork) is used on every platform: each worker imports the
+package fresh, so no parent caches, hook installations, or debug flags
+leak in — :func:`reset_worker_state` re-scrubs anyway as a guard against
+a future fork-based context.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .errors import InvalidArgument, ReproError
+
+
+class ShardError(ReproError):
+    """A worker failed while executing one shard.
+
+    Carries the shard index and the worker-side traceback text; pickles
+    across the process boundary intact (``__reduce__``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: Optional[int] = None,
+        cause_type: Optional[str] = None,
+        traceback_text: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.cause_type = cause_type
+        self.traceback_text = traceback_text
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.shard, self.cause_type, self.traceback_text),
+        )
+
+
+def resolve_workers(workers: Optional[int]) -> Optional[int]:
+    """Validate a ``--workers`` value (None = serial path)."""
+    if workers is None:
+        return None
+    if workers < 1:
+        raise InvalidArgument("workers must be >= 1 (omit for the serial path)")
+    return workers
+
+
+def reset_worker_state() -> None:
+    """Scrub process-global state so a worker's first result matches a
+    fresh process.
+
+    Spawn workers are already fresh interpreters; this is the explicit
+    contract (and the guard if the start method ever changes): debug
+    flags off, the null instrumentation installed, no fault plane armed.
+    Device cost-model memos are instance-level and need no scrubbing.
+    """
+    from .faults import hooks as fault_hooks
+    from .fs import extent_map
+    from .obs import hooks as obs_hooks
+
+    extent_map.DEBUG_CHECKS = False
+    obs_hooks.install(obs_hooks.NULL)
+    fault_hooks.install(fault_hooks.NULL)
+
+
+def _spawn_context():
+    import multiprocessing
+
+    return multiprocessing.get_context("spawn")
+
+
+def _call_shard(fn: Callable, index: int, payload: object) -> object:
+    """Worker-side wrapper: tag any failure with its shard index."""
+    try:
+        return fn(payload)
+    except Exception as exc:
+        raise ShardError(
+            f"shard {index} failed: {type(exc).__name__}: {exc}",
+            shard=index,
+            cause_type=type(exc).__name__,
+            traceback_text=traceback.format_exc(),
+        ) from None
+
+
+@dataclass
+class PlanStats:
+    """What one :meth:`ParallelPlan.run` did (mirrored into obs)."""
+
+    shards: int = 0
+    parallel: bool = False
+    timeouts: int = 0
+    serial_fallbacks: int = 0
+
+
+class ParallelPlan:
+    """Shard a seed-keyed work list across spawned workers.
+
+    ``fn`` must be a picklable module-level callable taking one payload;
+    payloads must pickle too.  :meth:`run` returns results **in payload
+    order** regardless of completion order — the canonical merge that
+    makes parallel output order-independent, hence byte-identical to
+    serial.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[object], object],
+        payloads: Sequence[object],
+        workers: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        label: str = "par",
+    ) -> None:
+        self.fn = fn
+        self.payloads = list(payloads)
+        self.workers = resolve_workers(workers)
+        self.timeout_s = timeout_s
+        self.label = label
+        self.stats = PlanStats()
+
+    def run(self) -> List[object]:
+        payloads = self.payloads
+        self.stats = PlanStats(
+            shards=len(payloads),
+            parallel=self.workers is not None and len(payloads) > 0,
+        )
+        if self.workers is None or not payloads:
+            return [self.fn(payload) for payload in payloads]
+        results = self._run_pool(payloads)
+        self._mirror()
+        return results
+
+    def _run_pool(self, payloads: List[object]) -> List[object]:
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(payloads)),
+            mp_context=_spawn_context(),
+            initializer=reset_worker_state,
+        )
+        results: List[object] = [None] * len(payloads)
+        hung = False
+        try:
+            futures = [
+                pool.submit(_call_shard, self.fn, index, payload)
+                for index, payload in enumerate(payloads)
+            ]
+            # Collect strictly in shard order: the merge is independent
+            # of which worker finishes first.  Each shard's wait doubles
+            # as its wall-clock timeout window.
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result(timeout=self.timeout_s)
+                except (_FuturesTimeout, TimeoutError):
+                    future.cancel()
+                    hung = True
+                    self.stats.timeouts += 1
+                    # graceful degradation: re-execute the straggler's
+                    # payload serially in the parent — same fn, same
+                    # payload, same deterministic result
+                    results[index] = self.fn(payloads[index])
+                    self.stats.serial_fallbacks += 1
+        except ShardError:
+            # partial results are discarded: the caller sees only the
+            # failure, never a half-merged document
+            raise
+        finally:
+            # a hung worker would block a waiting shutdown forever
+            pool.shutdown(wait=not hung, cancel_futures=True)
+        return results
+
+    def _mirror(self) -> None:
+        from .obs import hooks as obs_hooks
+
+        obs = obs_hooks.current()
+        if not obs.enabled:
+            return
+        registry = obs.registry
+        registry.counter("par.plans").inc()
+        registry.counter("par.shards").inc(self.stats.shards)
+        if self.stats.timeouts:
+            registry.counter("par.shard_timeouts").inc(self.stats.timeouts)
+            registry.counter("par.serial_fallbacks").inc(
+                self.stats.serial_fallbacks
+            )
+
+
+def run_sharded(
+    fn: Callable[[object], object],
+    payloads: Sequence[object],
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    label: str = "par",
+) -> List[object]:
+    """One-shot :class:`ParallelPlan` (the common call-site shape)."""
+    return ParallelPlan(
+        fn, payloads, workers=workers, timeout_s=timeout_s, label=label
+    ).run()
+
+
+# ----------------------------------------------------------------------
+# persistent stateful workers
+# ----------------------------------------------------------------------
+
+
+def _sticky_worker_main(conn, factory, payload, index: int) -> None:
+    """Worker loop: build the shard state, then serve method calls."""
+    reset_worker_state()
+    try:
+        state = factory(payload)
+    except Exception as exc:
+        conn.send(("err", ShardError(
+            f"shard {index} failed to build: {type(exc).__name__}: {exc}",
+            shard=index,
+            cause_type=type(exc).__name__,
+            traceback_text=traceback.format_exc(),
+        )))
+        conn.close()
+        return
+    conn.send(("ok", None))  # ready handshake
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if message[0] == "close":
+                break
+            _, method, args, kwargs = message
+            try:
+                result = getattr(state, method)(*args, **kwargs)
+                conn.send(("ok", result))
+            except Exception as exc:
+                conn.send(("err", ShardError(
+                    f"shard {index} {method}() failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    shard=index,
+                    cause_type=type(exc).__name__,
+                    traceback_text=traceback.format_exc(),
+                )))
+    finally:
+        close = getattr(state, "close", None)
+        if callable(close):
+            try:
+                close()
+            except Exception:
+                pass
+        conn.close()
+
+
+class StickyPool:
+    """N persistent spawned workers, each hosting one stateful shard.
+
+    ``factory`` (picklable, module-level) builds shard ``i``'s state from
+    ``payloads[i]`` inside worker ``i``; the state then serves method
+    calls until :meth:`close`, which also invokes its ``close()`` if it
+    has one.  ``timeout_s`` bounds every reply wait (build included) —
+    a silent shard raises :class:`ShardError` instead of hanging the run.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[object], object],
+        payloads: Sequence[object],
+        label: str = "shard",
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        ctx = _spawn_context()
+        self.label = label
+        self.timeout_s = timeout_s
+        self._conns = []
+        self._procs = []
+        try:
+            for index, payload in enumerate(payloads):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_sticky_worker_main,
+                    args=(child_conn, factory, payload, index),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            for index in range(len(self._procs)):
+                self._recv(index)  # ready handshake (or build failure)
+        except BaseException:
+            self.close()
+            raise
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    def __enter__(self) -> "StickyPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _recv(self, shard: int) -> object:
+        conn = self._conns[shard]
+        if self.timeout_s is not None and not conn.poll(self.timeout_s):
+            raise ShardError(
+                f"{self.label} {shard} timed out after {self.timeout_s}s",
+                shard=shard,
+            )
+        try:
+            kind, value = conn.recv()
+        except EOFError:
+            raise ShardError(
+                f"{self.label} {shard} died without replying", shard=shard
+            ) from None
+        if kind == "err":
+            raise value
+        return value
+
+    def call(self, shard: int, method: str, *args, **kwargs) -> object:
+        """Synchronous method call on one shard's state."""
+        self._conns[shard].send(("call", method, args, kwargs))
+        return self._recv(shard)
+
+    def call_all(self, method: str, *args, **kwargs) -> List[object]:
+        """Issue to every shard, then collect in shard order (the sends
+        overlap, so the shards execute concurrently)."""
+        for conn in self._conns:
+            conn.send(("call", method, args, kwargs))
+        return [self._recv(shard) for shard in range(len(self._conns))]
+
+    def call_each(
+        self, calls: Sequence[Tuple[int, str, tuple]]
+    ) -> List[object]:
+        """Issue per-shard calls concurrently; results in ``calls`` order.
+
+        At most one outstanding call per shard — replies on one pipe are
+        FIFO, so interleaving two methods to the same shard in one batch
+        would still collect correctly, but callers here never need it.
+        """
+        for shard, method, args in calls:
+            self._conns[shard].send(("call", method, args, {}))
+        return [self._recv(shard) for shard, _, _ in calls]
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()

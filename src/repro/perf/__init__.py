@@ -22,4 +22,4 @@ from .regression import (  # noqa: F401
     load,
     save,
 )
-from .suite import run_suite, suite_config  # noqa: F401
+from .suite import run_suite, scaling_curve, suite_config  # noqa: F401

@@ -44,8 +44,9 @@ def build_document(
     layers: Dict[str, Dict[str, float]],
     total_wall_s: float,
     profile: Optional[List[Dict[str, object]]] = None,
+    scaling: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    return {
+    document = {
         "schema": SCHEMA,
         "label": label,
         "config": dict(config),
@@ -55,6 +56,13 @@ def build_document(
         "total_wall_s": total_wall_s,
         "profile": list(profile or []),
     }
+    if scaling is not None:
+        # measured parallel-engine scaling (repro perf --scaling);
+        # recorded for the record, never compared — like `profile`,
+        # wall-clock parallelism is a property of the host, not the code
+        # alone.  Kept outside `config` so the fingerprint is unchanged.
+        document["scaling"] = dict(scaling)
+    return document
 
 
 def save(path: str, document: Dict[str, object]) -> None:

@@ -38,7 +38,9 @@ def suite_config(smoke: bool = False) -> Dict[str, object]:
             "free_space": {"ops": 3000},
             "page_cache": {"ops": 6000, "capacity_pages": 512},
             "splitter": {"calls": 3000, "pieces": 48},
+            "splitter_batch": {"calls": 300, "runs": 8, "run_mib": 4},
             "device_models": {"batches": 200, "batch_commands": 8},
+            "device_plans": {"plans": 2000, "max_pages": 64},
             "end_to_end": {"file_size_mib": 2},
         }
     return {
@@ -50,7 +52,9 @@ def suite_config(smoke: bool = False) -> Dict[str, object]:
         "free_space": {"ops": 20000},
         "page_cache": {"ops": 40000, "capacity_pages": 2048},
         "splitter": {"calls": 20000, "pieces": 48},
+        "splitter_batch": {"calls": 2000, "runs": 8, "run_mib": 4},
         "device_models": {"batches": 1200, "batch_commands": 8},
+        "device_plans": {"plans": 12000, "max_pages": 64},
         "end_to_end": {"file_size_mib": 8},
     }
 
@@ -237,6 +241,28 @@ def _bench_splitter(cfg: Dict[str, int]) -> int:
     return calls
 
 
+def _bench_splitter_batch(cfg: Dict[str, int]) -> int:
+    """The cap-emission path in isolation: few, multi-MiB contiguous runs
+    that each split into hundreds of ``MAX_REQUEST_SIZE`` commands — the
+    loop the arithmetic batch emission replaced."""
+    from ..block.request import IoOp
+    from ..block.splitter import split_ranges
+
+    rng = random.Random(cfg.get("seed", 19))
+    run_bytes = cfg["run_mib"] * MIB
+    ranges: List[Tuple[int, int]] = []
+    position = 0
+    for _ in range(cfg["runs"]):
+        length = run_bytes + rng.randrange(0, 16) * BLOCK_SIZE
+        position += rng.randrange(2, 64) * BLOCK_SIZE
+        ranges.append((position, length))
+        position += length
+    calls = cfg["calls"]
+    for _ in range(calls):
+        split_ranges(IoOp.WRITE, ranges, tag="perf")
+    return calls
+
+
 def _bench_device_models(cfg: Dict[str, int]) -> int:
     from ..block.request import IoCommand, IoOp
     from ..device import make_device
@@ -262,6 +288,35 @@ def _bench_device_models(cfg: Dict[str, int]) -> int:
     return total
 
 
+def _bench_device_plans(cfg: Dict[str, int]) -> int:
+    """Batch plan construction in isolation: optane's closed-form bank
+    layout and the flash FTL's batch channel count, with offsets and
+    page counts varied so the plan memos mostly miss."""
+    from ..block.request import IoCommand, IoOp
+    from ..device.flash import FlashSsd
+    from ..device.optane import OptaneSsd
+
+    rng = random.Random(cfg.get("seed", 29))
+    plans = cfg["plans"]
+    max_pages = cfg["max_pages"]
+    optane = OptaneSsd()
+    flash = FlashSsd()
+    span = flash.capacity // 2
+    # scatter some writes first so flash reads hit real mapping entries
+    for index in range(64):
+        flash._plan_command(IoCommand(
+            IoOp.WRITE, (index * 37 % (span // BLOCK_SIZE)) * BLOCK_SIZE,
+            rng.randrange(1, max_pages) * BLOCK_SIZE, "perf",
+        ))
+    for index in range(plans):
+        offset = rng.randrange(0, span // BLOCK_SIZE) * BLOCK_SIZE
+        length = rng.randrange(1, max_pages) * BLOCK_SIZE
+        op = IoOp.WRITE if index % 3 == 0 else IoOp.READ
+        optane._plan_command(IoCommand(op, offset, length, "perf"))
+        flash._plan_command(IoCommand(IoOp.READ, offset, length, "perf"))
+    return plans
+
+
 def _run_end_to_end(cfg: Dict[str, int]) -> int:
     from ..bench.experiments import synthetic_defrag
 
@@ -280,8 +335,18 @@ _MICRO_BENCHES: Dict[str, Callable[[Dict[str, int]], int]] = {
     "free_space": _bench_free_space,
     "page_cache": _bench_page_cache,
     "splitter": _bench_splitter,
+    "splitter_batch": _bench_splitter_batch,
     "device_models": _bench_device_models,
+    "device_plans": _bench_device_plans,
 }
+
+
+def _perf_shard(payload: Tuple[str, Dict[str, int], int]) -> Tuple[str, int, float]:
+    """Worker entry: one layer's best-of-N timing."""
+    name, layer_cfg, repeats = payload
+    bench = _MICRO_BENCHES[name]
+    ops, wall = _best_of(lambda: bench(layer_cfg), repeats)
+    return name, ops, wall
 
 
 # ---------------------------------------------------------------------------
@@ -327,17 +392,32 @@ def run_suite(
     label: str = "local",
     profile: bool = True,
     config: Optional[Dict[str, object]] = None,
+    workers: Optional[int] = None,
+    scaling: Optional[Dict[str, object]] = None,
 ) -> Tuple[Dict[str, object], List[LayerResult]]:
-    """Run the pinned suite; returns ``(perf_document, layer_results)``."""
+    """Run the pinned suite; returns ``(perf_document, layer_results)``.
+
+    ``workers`` shards the layer microbenchmarks across processes
+    (:mod:`repro.par`); layer results come back in suite order and the
+    document's fingerprint (config-only) is unchanged — wall readings
+    are wall readings either way, each timed inside its own process.
+    ``scaling`` attaches a measured :func:`scaling_curve` to the
+    document (recorded, never gated).
+    """
+    from ..par import run_sharded
+
     config = config if config is not None else suite_config(smoke)
     repeats = int(config["repeats"])
     seed = int(config["seed"])
-    results: List[LayerResult] = []
-    for name, bench in _MICRO_BENCHES.items():
+    payloads = []
+    for name in _MICRO_BENCHES:
         layer_cfg = dict(config[name])
         layer_cfg["seed"] = seed
-        ops, wall = _best_of(lambda: bench(layer_cfg), repeats)
-        results.append(LayerResult(name, ops, wall))
+        payloads.append((name, layer_cfg, repeats))
+    sharded = run_sharded(
+        _perf_shard, payloads, workers=workers, label="perf layer"
+    )
+    results = [LayerResult(name, ops, wall) for name, ops, wall in sharded]
     e2e_cfg = dict(config["end_to_end"])
     ops, wall = _best_of(lambda: _run_end_to_end(e2e_cfg), 1 if smoke else 2)
     results.append(LayerResult("end_to_end", ops, wall))
@@ -349,8 +429,54 @@ def run_suite(
         layers={result.name: result.to_dict() for result in results},
         total_wall_s=sum(result.wall_s for result in results),
         profile=hot_table,
+        scaling=scaling,
     )
     return document, results
+
+
+def scaling_curve(
+    worker_counts: Tuple[int, ...] = (1, 2, 4, 8),
+    smoke: bool = False,
+) -> Dict[str, object]:
+    """Measure the parallel engine's wall-clock scaling on a pinned
+    workload (a seed-7 fault-campaign series) and return it in the
+    shape the PERF document records.
+
+    ``speedup`` is serial wall over parallel wall; ``efficiency`` is
+    speedup over worker count.  Purely a measurement — the sharded
+    results themselves are asserted byte-identical elsewhere.
+    """
+    import os
+
+    from ..faults.campaign import CampaignConfig, run_campaign_series
+
+    trials = 8 if smoke else 32
+    config = CampaignConfig(seed=7)
+
+    def timed(workers: Optional[int]) -> float:
+        t0 = time.perf_counter()
+        run_campaign_series(config, trials=trials, workers=workers)
+        return time.perf_counter() - t0
+
+    serial_wall = timed(None)
+    points = []
+    for workers in worker_counts:
+        wall = timed(workers)
+        speedup = serial_wall / wall if wall > 0 else 0.0
+        points.append({
+            "workers": workers,
+            "wall_s": wall,
+            "speedup": speedup,
+            "efficiency": speedup / workers,
+        })
+    return {
+        "workload": "fault_campaign_series",
+        "seed": config.seed,
+        "trials": trials,
+        "host_cpus": os.cpu_count(),
+        "serial_wall_s": serial_wall,
+        "points": points,
+    }
 
 
 def evaluate_slos(document, wall_budget_s=None, specs=None):

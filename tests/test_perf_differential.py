@@ -360,6 +360,132 @@ def test_free_space_rejects_bad_lengths_like_reference():
         assert _outcome(fast.free, 0, length) == _outcome(naive.free, 0, length)
 
 
+# ---------------------------------------------------------------------------
+# batch plan / batch emission vectorizations (PR 9)
+# ---------------------------------------------------------------------------
+
+
+def _naive_optane_unit_work(first, last, banks, page_time):
+    """The per-page accumulation loop the closed form replaced."""
+    per_bank = {}
+    for lpn in range(first, last + 1):
+        bank = lpn % banks
+        per_bank[bank] = per_bank.get(bank, 0.0) + page_time
+    return tuple(per_bank.items())
+
+
+def _naive_flash_read_unit_work(ftl, first, last, page_read):
+    per_channel = {}
+    for lpn in range(first, last + 1):
+        channel = ftl.channel_of(lpn)
+        per_channel[channel] = per_channel.get(channel, 0.0) + page_read
+    return tuple(per_channel.items())
+
+
+def _naive_split_ranges(op, ranges, tag, max_request_size, pid):
+    """The subtract-and-test cap loop the batch emission replaced."""
+    from repro.block.request import IoCommand
+
+    commands = []
+
+    def flush(cur_offset, cur_length):
+        while cur_length > max_request_size:
+            commands.append(IoCommand(op, cur_offset, max_request_size, tag, pid))
+            cur_offset += max_request_size
+            cur_length -= max_request_size
+        commands.append(IoCommand(op, cur_offset, cur_length, tag, pid))
+
+    cur_offset = cur_length = 0
+    for offset, length in ranges:
+        if length <= 0:
+            continue
+        if cur_length and cur_offset + cur_length == offset:
+            cur_length += length
+            continue
+        if cur_length:
+            flush(cur_offset, cur_length)
+        cur_offset, cur_length = offset, length
+    if cur_length:
+        flush(cur_offset, cur_length)
+    return commands
+
+
+@pytest.mark.parametrize("seed", [1337, 99991])
+def test_optane_batch_plan_matches_naive_loop(seed):
+    from repro.block.request import IoCommand, IoOp
+    from repro.device.optane import OptaneSsd
+
+    rng = random.Random(seed)
+    device = OptaneSsd()
+    params = device.params
+    for _ in range(400):
+        op = IoOp.READ if rng.random() < 0.5 else IoOp.WRITE
+        offset = rng.randrange(0, 4096 * BLOCK)
+        length = rng.randrange(1, 64 * BLOCK)
+        command = IoCommand(op, offset, length, "t", 0)
+        plan = device._plan_command(command)
+        first = offset // BLOCK
+        last = (command.end - 1) // BLOCK
+        page_time = (params.page_read if op is IoOp.READ
+                     else params.page_write)
+        # equality on the float values is bit-exact for these totals:
+        # any last-ulp drift from the old accumulation loop must fail
+        assert plan.unit_work == _naive_optane_unit_work(
+            first, last, params.banks, page_time
+        )
+        assert plan.link_bytes == length
+
+
+@pytest.mark.parametrize("seed", [1337, 3141])
+def test_flash_batch_read_plan_matches_naive_loop(seed):
+    from repro.block.request import IoCommand, IoOp
+    from repro.device.flash import FlashSsd
+
+    rng = random.Random(seed)
+    device = FlashSsd()
+    for _ in range(250):
+        offset = rng.randrange(0, 2048 * BLOCK)
+        length = rng.randrange(1, 48 * BLOCK)
+        if rng.random() < 0.4:
+            # mutate the mapping so reads exercise both mapped pages and
+            # the unwritten address-striped fallback
+            device._plan_command(IoCommand(IoOp.WRITE, offset, length, "w", 0))
+            continue
+        command = IoCommand(IoOp.READ, offset, length, "r", 0)
+        plan = device._plan_command(command)
+        first = offset // BLOCK
+        last = (command.end - 1) // BLOCK
+        assert plan.unit_work == _naive_flash_read_unit_work(
+            device.ftl, first, last, device.params.page_read
+        )
+
+
+@pytest.mark.parametrize("seed", [1337, 60221023])
+def test_split_ranges_batch_emission_matches_naive_loop(seed):
+    from repro.block.request import IoOp
+    from repro.block.splitter import split_ranges
+    from repro.constants import MAX_REQUEST_SIZE
+
+    rng = random.Random(seed)
+    for _ in range(200):
+        ranges = []
+        cursor = rng.randrange(0, 64 * BLOCK)
+        for _ in range(rng.randrange(0, 12)):
+            if rng.random() < 0.3:
+                ranges.append((cursor, 0))  # dropped, must not flush
+            length = rng.choice([
+                rng.randrange(1, 2 * BLOCK),
+                rng.randrange(1, 4) * MAX_REQUEST_SIZE,
+                rng.randrange(1, 4) * MAX_REQUEST_SIZE + rng.randrange(1, BLOCK),
+            ])
+            ranges.append((cursor, length))
+            # adjacent ~half the time so merged runs span many caps
+            cursor += length if rng.random() < 0.5 else length + BLOCK
+        size = rng.choice([MAX_REQUEST_SIZE, 3 * BLOCK])
+        assert split_ranges(IoOp.READ, ranges, "t", size, 7) == \
+            _naive_split_ranges(IoOp.READ, ranges, "t", size, 7)
+
+
 def test_runs_and_stats_cached_until_mutation():
     fsm = FreeSpaceManager(0, 128 * BLOCK)
     first_runs = fsm.runs()
