@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..constants import MIB
+from ..obs import harvest
 from ..obs import hooks as obs_hooks
 from ..obs.analysis import histogram_summary
 from ..obs.hooks import Instrumentation
@@ -138,25 +139,23 @@ def _bench_shard(payload: Tuple[str, Dict[str, object]]):
             figure = _fileserver_figure(config["fileserver"])
         else:
             figure = _synthetic_figure(config["synthetic"], kind)
-    return figure, obs.registry.to_dict()
+    return figure, harvest.capture(obs)
 
 
-def _merge_worker_counters(obs, snapshots: List[Dict[str, Dict]]) -> None:
-    """Fold worker registry snapshots into the parent's obs registry.
+def _merge_worker_snapshots(obs, snapshots) -> None:
+    """Fold per-figure telemetry snapshots into the parent's obs plane.
 
-    Counters add; gauges keep the last shard's reading (shard order, so
-    the merge is deterministic); histograms are windowed per-figure and
-    already live inside the figures, so they are not re-merged.
+    Full harvest merge in shard order: counters add, gauges keep the
+    last shard's reading (with the cross-shard peak), histograms add
+    bucket-wise, and worker spans/events land on per-shard tracks — so
+    an armed ``--workers N`` bench exports the same plane as serial.
     """
     if not obs.enabled:
         return
-    registry = obs.registry
-    for snapshot in snapshots:
-        for name, entry in snapshot.items():
-            if entry.get("kind") == "counter":
-                registry.counter(name).inc(entry["value"])
-            elif entry.get("kind") == "gauge":
-                registry.gauge(name).set(entry["value"])
+    for index, snapshot in enumerate(snapshots):
+        snapshot.merge_into(
+            obs, track_prefix=harvest.shard_track_prefix(index)
+        )
 
 
 def run_suite(
@@ -182,9 +181,12 @@ def run_suite(
     payloads = [(device, config) for device in syn["devices"]]
     payloads.append(("fileserver", config))
     # serial and parallel run the same shard function — per-figure
-    # isolation either way, so the documents match by construction
+    # isolation either way, so the documents match by construction.
+    # harvest=False: the shard fn manages its own instrumentation and
+    # returns its own snapshots, merged below.
     sharded = run_sharded(
-        _bench_shard, payloads, workers=workers, label="bench figure"
+        _bench_shard, payloads, workers=workers, label="bench figure",
+        harvest=False,
     )
     for (kind, _), (figure, _snapshot) in zip(payloads, sharded):
         key = (
@@ -192,7 +194,7 @@ def run_suite(
             if kind == "fileserver" else f"synthetic_{syn['fs_type']}_{kind}"
         )
         figures[key] = figure
-    _merge_worker_counters(obs, [snap for _, snap in sharded])
+    _merge_worker_snapshots(obs, [snap for _, snap in sharded])
 
     # obs_trace manages its own instrumentation context (fresh registry),
     # which keeps its whole-run attribution self-contained

@@ -33,6 +33,9 @@ Usage::
     python -m repro replay --smoke                       # generate + replay
     python -m repro replay --compare REPLAY_a.json REPLAY_b.json
     python -m repro fleet --smoke --workload trace:t.bin # trace-driven fleet
+    python -m repro runs                                 # run-ledger history
+    python -m repro runs trajectory --verb perf          # figures across runs
+    python -m repro runs show 000003                     # one full manifest
 """
 
 from __future__ import annotations
@@ -196,8 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trace", default=None, metavar="PATH",
                        help="also write the instrumented run's Chrome trace "
                             "(spans + fragmentation timeline)")
+    bench.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="arm the ambient obs plane for the suite and "
+                            "dump its metrics registry as JSON here")
+    bench.add_argument("--prom", default=None, metavar="PATH",
+                       help="arm the ambient obs plane and dump Prometheus "
+                            "text-format metrics here")
     cli_util.add_workers_arg(bench)
     cli_util.add_document_args(bench, "BENCH", "BENCH", threshold=0.10)
+    cli_util.add_ledger_args(bench)
     perf = sub.add_parser(
         "perf",
         help="wall-clock performance suite: persist PERF_*.json, compare runs",
@@ -216,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
         threshold_help="relative regression threshold (default 0.20; "
                        "wall clock is noisier than virtual time)",
     )
+    cli_util.add_ledger_args(perf)
     fleet = sub.add_parser(
         "fleet",
         help="defrag-as-a-service fleet simulator: persist FLEET_*.json, "
@@ -260,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also dump Prometheus text-format metrics here")
     cli_util.add_workers_arg(fleet)
     cli_util.add_document_args(fleet, "FLEET", "FLEET", threshold=0.10)
+    cli_util.add_ledger_args(fleet)
     slo = sub.add_parser(
         "slo",
         help="SLO engine over a fleet run: persist SLO_*.json, compare "
@@ -285,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also export budget-remaining/compliance gauges "
                           "as Prometheus text format here")
     cli_util.add_document_args(slo, "SLO", "SLO", threshold=0.10)
+    cli_util.add_ledger_args(slo)
     watch = sub.add_parser(
         "watch",
         help="fleet health dashboard: per-tick frames with SLO burn "
@@ -345,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "corpus in a temp dir and replay it (CI smoke)")
     cli_util.add_workers_arg(replay)
     cli_util.add_document_args(replay, "REPLAY", "REPLAY", threshold=0.10)
+    cli_util.add_ledger_args(replay)
     faults = sub.add_parser(
         "faults",
         help="fault-injection survival report: crash-point sweep + seeded campaign",
@@ -366,6 +380,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run an N-trial seed-perturbed campaign "
                              "series (fingerprinted per trial)")
     cli_util.add_workers_arg(faults)
+    cli_util.add_ledger_args(faults)
+    runs = sub.add_parser(
+        "runs",
+        help="query the persistent run ledger: every document verb "
+             "appends a fingerprinted manifest per run",
+    )
+    runs.add_argument("action", nargs="?", default="list",
+                      choices=["list", "show", "trajectory"],
+                      help="list = one line per run; show = full manifest "
+                           "JSON; trajectory = headline figures across "
+                           "runs (default: list)")
+    runs.add_argument("selector", nargs="?", default=None,
+                      help="for show: a sequence number or manifest "
+                           "fingerprint prefix")
+    runs.add_argument("--verb", default=None,
+                      choices=["bench", "perf", "fleet", "slo", "replay",
+                               "faults"],
+                      help="only runs recorded by this verb")
+    runs.add_argument("--ledger-dir", default=None, metavar="DIR",
+                      help="run-ledger directory (default: "
+                           "$REPRO_LEDGER_DIR or benchmarks/ledger)")
     return parser
 
 
@@ -448,17 +483,33 @@ def _run_trace(args) -> int:
 
 
 def _run_bench(args) -> int:
+    import time
+
     from .bench import regression, suite
-    from .obs.export import write_chrome_trace
+    from .obs import hooks as obs_hooks
+    from .obs.export import metrics_json, prometheus_text, write_chrome_trace
+    from .obs.hooks import Instrumentation
 
     code = cli_util.run_compare(args, regression.load, regression.compare)
     if code is not None:
         return code
 
     label, path = cli_util.document_path(args, "BENCH")
-    document, trace_result = suite.run_suite(
-        smoke=args.smoke, label=label, workers=args.workers
-    )
+    armed = bool(args.metrics_json or args.prom)
+    start = time.perf_counter()
+    if armed:
+        # ambient arming: worker-side telemetry is harvested back and
+        # merged in shard order, so --workers N exports the same bytes
+        obs = Instrumentation()
+        with obs_hooks.use(obs):
+            document, trace_result = suite.run_suite(
+                smoke=args.smoke, label=label, obs=obs, workers=args.workers
+            )
+    else:
+        document, trace_result = suite.run_suite(
+            smoke=args.smoke, label=label, workers=args.workers
+        )
+    wall_s = time.perf_counter() - start
     regression.save(path, document)
     print(f"wrote bench document to {path} "
           f"(schema {document['schema']}, fingerprint {document['fingerprint']})")
@@ -470,12 +521,26 @@ def _run_bench(args) -> int:
             sampler=trace_result.sampler,
         )
         print(f"wrote Chrome trace to {args.trace}")
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            fh.write(metrics_json(obs.registry))
+        print(f"wrote metrics JSON to {args.metrics_json}")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(prometheus_text(obs.registry))
+        print(f"wrote Prometheus metrics to {args.prom}")
+    cli_util.record_ledger(
+        args, "bench", document, label=label, wall_s=wall_s,
+        extra={"smoke": args.smoke},
+    )
     print()
     print(trace_result.attribution().table())
     return 0
 
 
 def _run_perf(args) -> int:
+    import time
+
     from . import perf
 
     code = cli_util.run_compare(args, perf.load, perf.compare)
@@ -486,11 +551,17 @@ def _run_perf(args) -> int:
     scaling = None
     if args.scaling:
         scaling = perf.scaling_curve(smoke=args.smoke)
+    start = time.perf_counter()
     document, results = perf.run_suite(
         smoke=args.smoke, label=label, profile=not args.no_profile,
         workers=args.workers, scaling=scaling,
     )
+    wall_s = time.perf_counter() - start
     perf.save(path, document)
+    cli_util.record_ledger(
+        args, "perf", document, label=label, wall_s=wall_s,
+        extra={"smoke": args.smoke, "scaling": bool(args.scaling)},
+    )
     print(f"wrote perf document to {path} "
           f"(schema {document['schema']}, fingerprint {document['fingerprint']})")
     width = max(len(result.name) for result in results)
@@ -540,6 +611,8 @@ def _latency_slo_s(args) -> float:
 
 
 def _run_fleet(args) -> int:
+    import time
+
     from .fleet import FleetSlo, run_fleet
     from .fleet import report as fleet_report
     from .obs import hooks as obs_hooks
@@ -557,15 +630,17 @@ def _run_fleet(args) -> int:
     )
 
     armed = bool(args.trace or args.metrics_json or args.prom)
+    start = time.perf_counter()
     if armed:
         obs = Instrumentation()
         with obs_hooks.use(obs):
             report = run_fleet(config, slo=monitor, workers=args.workers)
     else:
         report = run_fleet(config, slo=monitor, workers=args.workers)
+    wall_s = time.perf_counter() - start
 
     print(report.text())
-    _, path = cli_util.document_path(args, "FLEET")
+    label, path = cli_util.document_path(args, "FLEET")
     document = report.to_dict()
     fleet_report.save(path, document)
     print(f"\nwrote fleet document to {path} "
@@ -581,10 +656,17 @@ def _run_fleet(args) -> int:
         with open(args.prom, "w") as fh:
             fh.write(prometheus_text(obs.registry))
         print(f"wrote Prometheus metrics to {args.prom}")
+    cli_util.record_ledger(
+        args, "fleet", document, label=label, seed=args.seed, wall_s=wall_s,
+        extra={"smoke": args.smoke, "volumes": args.volumes,
+               "slo": args.slo, "faults": args.faults},
+    )
     return 0 if report.budget_ok else 1
 
 
 def _run_slo(args) -> int:
+    import time
+
     from .fleet import FleetSlo, run_fleet
     from .obs import slo as obs_slo
     from .obs.export import prometheus_text
@@ -598,7 +680,9 @@ def _run_slo(args) -> int:
     monitor = FleetSlo.for_config(
         config, latency_slo_s=_latency_slo_s(args), specs=specs
     )
+    start = time.perf_counter()
     run_fleet(config, slo=monitor)
+    wall_s = time.perf_counter() - start
 
     label, path = cli_util.document_path(args, "SLO")
     source = {"kind": "fleet", "config": config.to_dict()}
@@ -612,6 +696,11 @@ def _run_slo(args) -> int:
         with open(args.prom, "w") as fh:
             fh.write(prometheus_text(obs_slo.prometheus_registry(document)))
         print(f"wrote Prometheus budget gauges to {args.prom}")
+    cli_util.record_ledger(
+        args, "slo", document, label=label, seed=args.seed, wall_s=wall_s,
+        extra={"smoke": args.smoke, "volumes": args.volumes,
+               "faults": args.faults},
+    )
     return 0
 
 
@@ -651,6 +740,7 @@ def _run_watch(args) -> int:
 def _run_replay(args) -> int:
     import os
     import tempfile
+    import time
 
     from . import replay as replay_mod
     from .replay import ReplayConfig, TraceProfile, generate_trace, run_replay
@@ -683,7 +773,9 @@ def _run_replay(args) -> int:
         fs_type=args.fs_type, device=args.device, fmt=args.format,
         pacing=args.pacing, seed=args.seed,
     )
+    start = time.perf_counter()
     result = run_replay(trace_path, config)
+    wall_s = time.perf_counter() - start
     print(result.text())
     label, path = cli_util.document_path(args, "REPLAY")
     document = result.to_dict(label)
@@ -691,12 +783,21 @@ def _run_replay(args) -> int:
     replay_mod.save(path, document)
     print(f"\nwrote replay document to {path} "
           f"(schema {document['schema']}, fingerprint {document['fingerprint']})")
+    cli_util.record_ledger(
+        args, "replay", document, label=label, seed=args.seed, wall_s=wall_s,
+        extra={"smoke": args.smoke, "fs_type": args.fs_type,
+               "device": args.device, "pacing": args.pacing},
+    )
     return 0
 
 
 def _run_faults(args) -> int:
+    import json
+    import time
+
     from .faults.campaign import survival_report
 
+    start = time.perf_counter()
     report = survival_report(
         seed=args.seed,
         device=args.device,
@@ -706,12 +807,59 @@ def _run_faults(args) -> int:
         workers=args.workers,
         trials=args.trials,
     )
+    wall_s = time.perf_counter() - start
     print(report.text())
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(report.to_json())
         print(f"\nwrote survival report JSON to {args.json}")
+    cli_util.record_ledger(
+        args, "faults", json.loads(report.to_json()),
+        label="smoke" if args.smoke else "full",
+        seed=args.seed, wall_s=wall_s,
+        extra={"smoke": args.smoke, "device": args.device,
+               "trials": args.trials},
+    )
     return 0 if report.ok else 1
+
+
+def _run_runs(args) -> int:
+    import json
+    import os
+
+    from .obs import ledger
+
+    runs = ledger.list_runs(args.ledger_dir, verb=args.verb)
+    if args.action == "show":
+        if not args.selector:
+            print("runs show: need a sequence number or fingerprint prefix",
+                  file=sys.stderr)
+            return 2
+        selector = args.selector
+        matches = [
+            run for run in runs
+            if str(run["fingerprint"]).startswith(selector)
+            or os.path.basename(str(run["path"])).split("_")[0]
+            == selector.zfill(6)
+        ]
+        if not matches:
+            print(f"runs show: no recorded run matches {selector!r}",
+                  file=sys.stderr)
+            return 1
+        for run in matches:
+            manifest = {k: v for k, v in run.items() if k != "path"}
+            print(f"# {run['path']}")
+            print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    if not runs:
+        print("run ledger is empty (document verbs append manifests under "
+              f"{ledger.resolve_dir(args.ledger_dir)})")
+        return 0
+    if args.action == "trajectory":
+        print(ledger.trajectory_table(runs))
+    else:
+        print(ledger.runs_table(runs))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -734,6 +882,8 @@ def main(argv=None) -> int:
         return _run_replay(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "runs":
+        return _run_runs(args)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):

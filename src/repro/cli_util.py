@@ -59,6 +59,48 @@ def add_workers_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_ledger_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the run-ledger flags every document verb shares.
+
+    Each run appends a fingerprinted manifest to the persistent ledger
+    (``repro runs`` queries it); ``--no-ledger`` opts a run out.
+    """
+    parser.add_argument(
+        "--ledger-dir", default=None, metavar="DIR",
+        help="run-ledger directory (default: $REPRO_LEDGER_DIR or "
+             "benchmarks/ledger)",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not append this run's manifest to the run ledger",
+    )
+
+
+def record_ledger(
+    args: argparse.Namespace,
+    verb: str,
+    document: dict,
+    *,
+    label: str = "local",
+    seed: Optional[int] = None,
+    wall_s: float = 0.0,
+    extra: Optional[dict] = None,
+) -> Optional[str]:
+    """Append this run's manifest to the ledger (unless --no-ledger)."""
+    if getattr(args, "no_ledger", False):
+        return None
+    from .obs import ledger
+
+    path = ledger.record_run(
+        verb, document, label=label, seed=seed,
+        workers=getattr(args, "workers", None),
+        args=extra, wall_s=wall_s,
+        directory=getattr(args, "ledger_dir", None),
+    )
+    print(f"recorded run manifest {path}")
+    return path
+
+
 def document_path(args: argparse.Namespace, prefix: str) -> Tuple[str, str]:
     """Resolve the (label, output path) pair for a document run."""
     label = args.label or ("smoke" if getattr(args, "smoke", False) else "full")

@@ -89,11 +89,16 @@ class FleetController:
 
     # -- one tick ------------------------------------------------------
 
+    def _build_job(self, name: str, tick: int) -> DefragJob:
+        volume = self.by_name[name]
+        with volume.scope():
+            return DefragJob(volume, self.config, tick)
+
     def run_tick(self, tick: int) -> TickRow:
         config = self.config
         self.budget.begin_tick()
         admitted = self.admission.admit(
-            lambda name: DefragJob(self.by_name[name], config, tick)
+            lambda name: self._build_job(name, tick)
         )
         for job in admitted:
             # a running job watches its volume closely: nested attach on
@@ -109,21 +114,24 @@ class FleetController:
         for volume in self.volumes:
             _, window_end = volume.window(tick)
             job = self.admission.running.get(volume.spec.name)
-            if isinstance(job, DefragJob) and job.state == RUNNING:
-                contexts = run_concurrently(
-                    {
-                        "fg": volume.foreground_actor(
-                            window_end, config.fg_ops_per_tick
-                        ),
-                        "defrag": job.actor(self.budget, window_end),
-                    },
-                    start=volume.now,
-                    until=window_end,
-                )
-                end = max(ctx.now for ctx in contexts.values())
-                volume.now = max(volume.now, window_end, end)
-            else:
-                volume.run_foreground(window_end, config.fg_ops_per_tick)
+            # march inside the volume's obs scope: the engine's actor
+            # events and any journal recovery read the live facade
+            with volume.scope():
+                if isinstance(job, DefragJob) and job.state == RUNNING:
+                    contexts = run_concurrently(
+                        {
+                            "fg": volume.foreground_actor(
+                                window_end, config.fg_ops_per_tick
+                            ),
+                            "defrag": job.actor(self.budget, window_end),
+                        },
+                        start=volume.now,
+                        until=window_end,
+                    )
+                    end = max(ctx.now for ctx in contexts.values())
+                    volume.now = max(volume.now, window_end, end)
+                else:
+                    volume.run_foreground(window_end, config.fg_ops_per_tick)
 
         for name, job in list(self.admission.running.items()):
             if isinstance(job, DefragJob) and job.state != RUNNING:
@@ -223,6 +231,25 @@ class FleetController:
         if self.slo is not None:
             report.slo = self.slo.report_section()
         self._mirror_summary(latencies)
+        self._harvest_volumes()
+
+    def _harvest_volumes(self) -> None:
+        """Merge every volume's telemetry into the ambient plane.
+
+        Spec order, ``<volume>/`` track prefixes — exactly the merge the
+        sharded run performs on the parent, so armed serial and
+        ``--workers N`` fleets export identical planes.
+        """
+        obs = obs_hooks.current()
+        if not obs.enabled:
+            return
+        from ..obs import harvest
+
+        for volume in self.volumes:
+            if volume.obs is not None:
+                harvest.capture(volume.obs).merge_into(
+                    obs, track_prefix=f"{volume.spec.name}/"
+                )
 
     # -- observability mirroring ---------------------------------------
 
@@ -266,8 +293,28 @@ class FleetController:
 
 def build_volumes(config: FleetConfig) -> List[Volume]:
     """Instantiate every volume of the fleet (setup is fault-free even
-    when a storm is armed: the plane activates only for the run)."""
-    return [Volume(spec, config) for spec in make_volume_specs(config)]
+    when a storm is armed: the plane activates only for the run).
+
+    When the ambient instrumentation is armed, each volume is built
+    under its own child instrumentation (mirroring the ambient ring
+    sizes and provenance arming) so its layers record per-volume; the
+    controller merges the per-volume planes back at the end of the run
+    (:meth:`FleetController._harvest_volumes`).  Unarmed runs are
+    untouched — no child facades, no scopes, the pre-harvest fast path.
+    """
+    ambient = obs_hooks.current()
+    if not ambient.enabled:
+        return [Volume(spec, config) for spec in make_volume_specs(config)]
+    from ..obs import harvest
+
+    volumes: List[Volume] = []
+    for spec in make_volume_specs(config):
+        child = harvest.child_of(ambient)
+        with obs_hooks.use(child):
+            volume = Volume(spec, config)
+        volume.obs = child
+        volumes.append(volume)
+    return volumes
 
 
 def run_fleet(

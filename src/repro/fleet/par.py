@@ -41,16 +41,35 @@ from .spec import FleetConfig, make_volume_specs
 
 
 class FleetShard:
-    """Worker-side state: this shard's volumes and their jobs."""
+    """Worker-side state: this shard's volumes and their jobs.
 
-    def __init__(self, config: FleetConfig, indices: List[int]) -> None:
+    ``harvest_spec`` (a picklable :class:`repro.obs.harvest.HarvestSpec`,
+    set when the parent's instrumentation is armed) gives every volume
+    its own child instrumentation — the same per-volume planes the armed
+    serial controller builds — captured at :meth:`finalize` and merged
+    by the parent in global spec order.
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        indices: List[int],
+        harvest_spec=None,
+    ) -> None:
         from .volume import Volume
 
         self.config = config
+        self.harvest_spec = harvest_spec
         specs = make_volume_specs(config)
         self.volumes: Dict[str, "Volume"] = {}
         for index in indices:
-            volume = Volume(specs[index], config)
+            if harvest_spec is not None:
+                child = harvest_spec.child()
+                with obs_hooks.use(child):
+                    volume = Volume(specs[index], config)
+                volume.obs = child
+            else:
+                volume = Volume(specs[index], config)
             volume.sampler.attach()  # the fleet-wide attach
             self.volumes[volume.spec.name] = volume
         self.jobs: Dict[str, DefragJob] = {}
@@ -62,7 +81,9 @@ class FleetShard:
         }
 
     def admit(self, name: str, tick: int) -> str:
-        job = DefragJob(self.volumes[name], self.config, tick)
+        volume = self.volumes[name]
+        with volume.scope():
+            job = DefragJob(volume, self.config, tick)
         self.jobs[name] = job
         job.volume.sampler.attach()  # nested attach, like the controller
         return job.state
@@ -85,17 +106,18 @@ class FleetShard:
         _, window_end = volume.window(tick)
         ops_before = volume.fg_ops
         reads_before = len(volume.read_latencies)
-        contexts = run_concurrently(
-            {
-                "fg": volume.foreground_actor(
-                    window_end, self.config.fg_ops_per_tick
-                ),
-                "defrag": job.actor(budget, window_end),
-            },
-            start=volume.now,
-            until=window_end,
-        )
-        end = max(ctx.now for ctx in contexts.values())
+        with volume.scope():
+            contexts = run_concurrently(
+                {
+                    "fg": volume.foreground_actor(
+                        window_end, self.config.fg_ops_per_tick
+                    ),
+                    "defrag": job.actor(budget, window_end),
+                },
+                start=volume.now,
+                until=window_end,
+            )
+            end = max(ctx.now for ctx in contexts.values())
         volume.now = max(volume.now, window_end, end)
         return {
             "reserved": budget.spent_this_tick - spent_this_tick,
@@ -115,7 +137,8 @@ class FleetShard:
             _, window_end = volume.window(tick)
             ops_before = volume.fg_ops
             reads_before = len(volume.read_latencies)
-            volume.run_foreground(window_end, self.config.fg_ops_per_tick)
+            with volume.scope():
+                volume.run_foreground(window_end, self.config.fg_ops_per_tick)
             out[name] = {
                 "fg_ops": volume.fg_ops - ops_before,
                 "latencies": volume.read_latencies[reads_before:],
@@ -158,16 +181,25 @@ class FleetShard:
             }
             for name, volume in self.volumes.items()
         }
-        return {"jobs": jobs, "volumes": volumes}
+        telemetry = {}
+        if self.harvest_spec is not None:
+            from ..obs import harvest
+
+            telemetry = {
+                name: harvest.capture(volume.obs)
+                for name, volume in self.volumes.items()
+                if volume.obs is not None
+            }
+        return {"jobs": jobs, "volumes": volumes, "telemetry": telemetry}
 
     def close(self) -> None:
         for volume in self.volumes.values():
             volume.close()
 
 
-def _build_fleet_shard(payload: Tuple[FleetConfig, List[int]]) -> FleetShard:
-    config, indices = payload
-    return FleetShard(config, indices)
+def _build_fleet_shard(payload: Tuple) -> FleetShard:
+    config, indices, harvest_spec = payload
+    return FleetShard(config, indices, harvest_spec)
 
 
 def run_fleet_parallel(config: FleetConfig, workers: int, slo=None) -> FleetReport:
@@ -242,9 +274,16 @@ def run_fleet_parallel(config: FleetConfig, workers: int, slo=None) -> FleetRepo
         registry.counter("fleet.migrated_bytes").inc(row.migrated_bytes)
         registry.counter("fleet.fg_ops").inc(row.fg_ops)
 
+    ambient = obs_hooks.current()
+    harvest_spec = None
+    if ambient.enabled:
+        from ..obs.harvest import HarvestSpec
+
+        harvest_spec = HarvestSpec.from_obs(ambient)
+
     with StickyPool(
         _build_fleet_shard,
-        [(config, indices) for indices in assignments],
+        [(config, indices, harvest_spec) for indices in assignments],
         label="fleet shard",
     ) as pool:
         # begin(): initial census + trigger pass
@@ -344,8 +383,10 @@ def run_fleet_parallel(config: FleetConfig, workers: int, slo=None) -> FleetRepo
             for key in finals[0]["jobs"]
         }
         volume_finals: Dict[str, Dict[str, object]] = {}
+        volume_telemetry: Dict[str, object] = {}
         for final in finals:
             volume_finals.update(final["volumes"])
+            volume_telemetry.update(final.get("telemetry", {}))
 
     report.jobs_admitted = admission.admitted
     report.jobs_completed = admission.completed
@@ -393,4 +434,11 @@ def run_fleet_parallel(config: FleetConfig, workers: int, slo=None) -> FleetRepo
         registry.counter("fleet.jobs_deferred_ticks").inc(
             admission.deferred_ticks
         )
+        # harvest merge in global spec order with per-volume track
+        # prefixes — the exact merge the serial controller performs in
+        # _harvest_volumes, so exports stay byte-identical
+        for spec in specs:
+            snapshot = volume_telemetry.get(spec.name)
+            if snapshot is not None:
+                snapshot.merge_into(obs, track_prefix=f"{spec.name}/")
     return report

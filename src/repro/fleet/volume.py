@@ -36,6 +36,11 @@ class Volume:
     def __init__(self, spec: VolumeSpec, config: FleetConfig) -> None:
         self.spec = spec
         self.config = config
+        #: per-volume instrumentation for armed fleet runs — the builder
+        #: constructs the volume under ``obs_hooks.use(child)`` (so the
+        #: fs/device/sampler layers capture it) and then stores the
+        #: child here; None on unarmed runs
+        self.obs = None
         self.device = make_device(spec.device, capacity=config.device_capacity)
         self.fs = make_filesystem(spec.fs_type, self.device)
         now = 0.0
@@ -76,6 +81,22 @@ class Volume:
             # onto this volume's own file set (file_id % files) so the
             # stream is shareable across heterogeneous volumes
             self._trace_ops = cycling_ops(trace_path)
+
+    # -- observability -------------------------------------------------
+
+    def scope(self):
+        """Context installing this volume's instrumentation (if any).
+
+        Live ``obs_hooks.current()`` readers — the concurrency engine's
+        actor events, journal recovery, job construction — must run
+        inside this scope so armed serial and sharded runs record onto
+        the same per-volume plane.
+        """
+        from contextlib import nullcontext
+
+        from ..obs import hooks as obs_hooks
+
+        return obs_hooks.use(self.obs) if self.obs is not None else nullcontext()
 
     # -- tick geometry -------------------------------------------------
 

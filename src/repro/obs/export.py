@@ -14,6 +14,7 @@ non-standard top-level ``metrics`` key (Chrome ignores unknown keys).
 
 from __future__ import annotations
 
+import fnmatch
 import json
 import re
 from typing import Dict, List, Optional
@@ -150,11 +151,22 @@ def metrics_table(registry: MetricsRegistry) -> str:
 
 _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
-#: central metric documentation: exact name (or trailing-'*' prefix) ->
+#: central metric documentation: exact name (or '*' glob pattern) ->
 #: the ``# HELP`` line Prometheus exports carry.  One table instead of
 #: per-call-site strings, so the same metric renders the same HELP
-#: everywhere it is exported.
+#: everywhere it is exported.  Every metric the repo emits must resolve
+#: here (``tests/test_obs_export.py`` audits a representative armed run).
 METRIC_HELP: Dict[str, str] = {
+    "attrib.device_penalty_s": "device seek/fragmentation penalty time",
+    "attrib.device_queue_s": "time requests queued behind a busy device",
+    "attrib.device_service_s": "raw device service time",
+    "attrib.fs_cpu_s": "filesystem-layer CPU time",
+    "attrib.kernel_cpu_base_s": "block-layer per-request base CPU time",
+    "attrib.kernel_cpu_split_s": "block-layer request-splitting CPU time",
+    "attrib.kernel_queue_s": "block-layer queueing delay",
+    "block.kernel_time_s": "block-layer time per request (CPU + queue)",
+    "block.queue_backlog_s": "device backlog seen at block-layer dispatch",
+    "block.requests": "block requests submitted",
     "block.split_fanout": "device commands produced per block request",
     "frag.extents_per_file": "mean extent count over tracked files",
     "frag.max_extents": "extent count of the worst tracked file",
@@ -174,14 +186,24 @@ METRIC_HELP: Dict[str, str] = {
     "slo.breaches": "SLO windows whose bad fraction exceeded the budget",
     "slo.alerts": "multi-window burn-rate alerts fired",
     "par.plans": "parallel plans executed (sharded fan-outs)",
-    "par.shards": "work shards dispatched to worker processes",
+    "par.shards": "work shards executed (serially or in worker processes)",
     "par.shard_timeouts": "shards that exceeded their wall-clock timeout",
     "par.serial_fallbacks": "plans re-executed serially after a timeout",
-    # '*' patterns (exact names above win over these)
+    "obs.events_dropped": "ring-buffer events dropped (oldest-first wrap)",
+    "obs.harvest.snapshots": "worker telemetry snapshots merged into this plane",
+    "faults.injected.total": "faults injected across all sites and kinds",
+    "recovery.bytes_restored": "bytes restored by journal crash recovery",
+    "recovery.entries_replayed": "journal entries replayed during recovery",
+    # '*' glob patterns (exact names above win over these)
     "fs.syscall.*": "filesystem syscalls issued, by operation",
     "fs.syscall_latency.*": "per-syscall latency in virtual seconds",
     "device.*.busy_until": "virtual time this device model is busy until",
     "device.*.batch_commands": "commands per dispatched device batch",
+    "device.*.command_latency.*": "per-command device latency, by operation",
+    "sim.actor_step.*": "virtual time consumed per step of one actor",
+    "faults.injected.*": "faults injected at one site, by kind",
+    "*.migration_retries": "migration ranges retried by one defrag tool",
+    "*.migrations_failed": "migration ranges abandoned by one defrag tool",
     "slo.*.burn_fast": "fast-window burn rate of one SLO",
     "slo.*.burn_slow": "slow-window burn rate of one SLO",
     "slo.*.budget_remaining": "unspent error-budget fraction of one SLO",
@@ -192,15 +214,16 @@ METRIC_HELP: Dict[str, str] = {
 
 
 def metric_help(name: str) -> Optional[str]:
-    """The HELP text for a metric: exact match, then ``*`` patterns."""
+    """The HELP text for a metric: exact match, then ``*`` glob patterns.
+
+    Patterns use :func:`fnmatch.fnmatchcase`, so multi-star shapes like
+    ``device.*.command_latency.*`` resolve; the first matching pattern
+    in table order wins.
+    """
     if name in METRIC_HELP:
         return METRIC_HELP[name]
     for pattern, text in METRIC_HELP.items():
-        if "*" not in pattern:
-            continue
-        prefix, _, suffix = pattern.partition("*")
-        if (name.startswith(prefix) and name.endswith(suffix)
-                and len(name) > len(prefix) + len(suffix)):
+        if "*" in pattern and fnmatch.fnmatchcase(name, pattern):
             return text
     return None
 

@@ -1,0 +1,239 @@
+"""Cross-process telemetry harvest: capture in workers, merge in parents.
+
+``repro.par`` workers start from :func:`repro.par.reset_worker_state`,
+which installs the null :class:`~repro.obs.hooks.Instrumentation` — so
+before this module existed, a ``--workers N`` run silently discarded
+every metric, span, ring event, and provenance edge its shards produced.
+The harvest plane closes that hole the way production telemetry
+pipelines do (Chrome ``trace_event`` aggregation, Prometheus
+federation): each shard runs under a **fresh child instrumentation**,
+its state is captured at shard end into a picklable
+:class:`TelemetrySnapshot`, the snapshot rides back to the parent
+alongside the shard's payload, and the parent merges snapshots into its
+own armed instrumentation **strictly in shard order**:
+
+- counters sum; gauges keep the last shard's reading but remember the
+  true peak across shards; histograms add bucket-wise (same bounds
+  required) so quantiles come from the union of observations;
+- spans and ring events land on per-shard tracks (``shard0/main``,
+  ``vol03/fleet`` ...) so Chrome-trace rows stay separated per worker,
+  with an optional virtual-time base to reconcile shard-local clocks;
+- ring drops stay counted: the worker's ``obs.events_dropped`` counter
+  merges like any counter, and the recorder-level ``dropped_spans`` /
+  ``dropped_events`` tallies carry over into the parent's recorder (on
+  top of any wraps the merge itself causes in the parent's ring);
+- provenance edges (the ``prov.*`` ring events) are re-based: worker
+  pids are shifted past everything the parent has minted so far, so a
+  merged ring still parses into one forest via
+  :func:`repro.obs.provenance.build_forest`.
+
+The crucial determinism property: the **serial** path of
+:class:`repro.par.ParallelPlan` performs the *same* child-capture-merge
+dance per shard, so an armed ``--workers N`` run renders byte-identical
+metrics tables, Prometheus text, and Chrome traces to the serial run —
+guarded by ``tests/test_obs_determinism.py`` and the ``obs-par-smoke``
+CI job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .hooks import Instrumentation
+from .metrics import Gauge, Histogram
+
+#: counter incremented on the parent each time a shard snapshot merges
+#: (same count serial vs parallel: the serial path harvests too)
+SNAPSHOTS_MERGED = "obs.harvest.snapshots"
+
+#: ring-event name prefix whose ``pid`` attrs are provenance ids and get
+#: re-based on merge (see repro.obs.provenance)
+_PROV_PREFIX = "prov."
+
+
+@dataclass(frozen=True)
+class HarvestSpec:
+    """Picklable recipe for the child instrumentation a shard runs under.
+
+    Mirrors the parent's ring capacities and provenance arming so the
+    worker-side facade behaves exactly like the parent's would have.
+    """
+
+    max_spans: int
+    max_events: int
+    provenance: bool
+
+    @classmethod
+    def from_obs(cls, obs: Instrumentation) -> "HarvestSpec":
+        return cls(
+            max_spans=obs.spans.max_spans,
+            max_events=obs.spans.events.maxlen or 0,
+            provenance=obs.provenance is not None,
+        )
+
+    def child(self) -> Instrumentation:
+        return Instrumentation(
+            max_spans=self.max_spans,
+            max_events=self.max_events,
+            provenance=self.provenance,
+        )
+
+
+def child_of(obs: Instrumentation) -> Instrumentation:
+    """A fresh armed instrumentation mirroring ``obs``'s configuration."""
+    return HarvestSpec.from_obs(obs).child()
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Plain-data, picklable capture of one instrumentation's state.
+
+    Metrics are carried in raw form (bucket counts, not percentile
+    renderings) so the parent merge reproduces exactly what serial
+    accumulation would have: percentiles re-derive from merged buckets.
+    """
+
+    #: (name, value) in registry insertion order
+    counters: List[Tuple[str, float]] = field(default_factory=list)
+    #: (name, value, peak)
+    gauges: List[Tuple[str, float, float]] = field(default_factory=list)
+    #: (name, bounds, bucket_counts, count, total, max_value)
+    histograms: List[
+        Tuple[str, Tuple[float, ...], Tuple[int, ...], int, float, float]
+    ] = field(default_factory=list)
+    #: finished spans: (name, start, end, track, attrs)
+    spans: List[Tuple[str, float, float, str, Dict[str, object]]] = (
+        field(default_factory=list)
+    )
+    #: ring segment: (name, time, track, attrs)
+    events: List[Tuple[str, float, str, Dict[str, object]]] = (
+        field(default_factory=list)
+    )
+    dropped_spans: int = 0
+    dropped_events: int = 0
+    #: provenance ids minted shard-side (0 when provenance is disarmed)
+    provenance_minted: int = 0
+
+    def empty(self) -> bool:
+        return not (
+            self.counters or self.gauges or self.histograms
+            or self.spans or self.events
+            or self.dropped_spans or self.dropped_events
+        )
+
+    # -- capture -------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        obs: Instrumentation,
+        baseline: Optional[Dict[str, object]] = None,
+    ) -> "TelemetrySnapshot":
+        """Snapshot ``obs`` — optionally as a delta over ``baseline``
+        (a ``registry.snapshot()`` dict taken before the shard ran).
+
+        Only *finished* spans are carried: a shard that leaves spans
+        open at capture time loses them, same as the exporters would.
+        """
+        snapshot = cls()
+        baseline = baseline or {}
+        for metric in obs.registry.metrics():
+            earlier = baseline.get(metric.name)
+            if earlier is not None:
+                metric = metric.delta(earlier)
+            if isinstance(metric, Gauge):
+                snapshot.gauges.append((metric.name, metric.value, metric.peak))
+            elif isinstance(metric, Histogram):
+                snapshot.histograms.append((
+                    metric.name, tuple(metric.bounds), tuple(metric.counts),
+                    metric.count, metric.total, metric.max_value,
+                ))
+            else:
+                snapshot.counters.append((metric.name, metric.value))
+        for span in obs.spans.finished_spans():
+            snapshot.spans.append(
+                (span.name, span.start, span.end, span.track, dict(span.attrs))
+            )
+        for event in obs.spans.events:
+            snapshot.events.append(
+                (event.name, event.time, event.track, dict(event.attrs))
+            )
+        snapshot.dropped_spans = obs.spans.dropped_spans
+        snapshot.dropped_events = obs.spans.dropped_events
+        if obs.provenance is not None:
+            snapshot.provenance_minted = obs.provenance.minted
+        return snapshot
+
+    # -- merge ---------------------------------------------------------
+
+    def merge_into(
+        self,
+        obs: Instrumentation,
+        track_prefix: str = "",
+        time_base: float = 0.0,
+    ) -> None:
+        """Fold this snapshot into ``obs`` (the parent's armed facade).
+
+        ``track_prefix`` namespaces the shard's span/event tracks so each
+        shard renders as its own Chrome-trace rows; ``time_base`` shifts
+        shard-local virtual time onto the parent's timeline (shards that
+        share the parent's t=0 origin — every current call site — pass
+        0.0).  Counter merges include the shard's ``obs.events_dropped``,
+        so drops stay counted end to end.
+        """
+        if not obs.enabled:
+            return
+        registry = obs.registry
+        for name, value in self.counters:
+            registry.counter(name).inc(value)
+        for name, value, peak in self.gauges:
+            gauge = registry.gauge(name)
+            gauge.set(value)
+            if peak > gauge.peak:
+                gauge.peak = peak
+        for name, bounds, counts, count, total, max_value in self.histograms:
+            hist = registry.histogram(name, bounds)
+            if hist.bounds != tuple(bounds):
+                raise ValueError(
+                    f"histogram {name!r}: shard bounds {bounds} do not match "
+                    f"parent bounds {hist.bounds}"
+                )
+            for i, bucket in enumerate(counts):
+                hist.counts[i] += bucket
+            hist.count += count
+            hist.total += total
+            if max_value > hist.max_value:
+                hist.max_value = max_value
+        pid_base = 0
+        if obs.provenance is not None and self.provenance_minted:
+            pid_base = obs.provenance.minted
+            obs.provenance.minted += self.provenance_minted
+        recorder = obs.spans
+        for name, start, end, track, attrs in self.spans:
+            recorder.adopt(
+                name, start + time_base, end + time_base,
+                track=track_prefix + track, attrs=attrs,
+            )
+        for name, time, track, attrs in self.events:
+            if pid_base and name.startswith(_PROV_PREFIX) and attrs.get("pid"):
+                attrs = dict(attrs)
+                attrs["pid"] = attrs["pid"] + pid_base
+            recorder.event(
+                name, time + time_base, track=track_prefix + track, **attrs
+            )
+        recorder.dropped_spans += self.dropped_spans
+        recorder.dropped_events += self.dropped_events
+        registry.counter(SNAPSHOTS_MERGED).inc()
+
+
+def capture(
+    obs: Instrumentation, baseline: Optional[Dict[str, object]] = None
+) -> TelemetrySnapshot:
+    """Module-level alias for :meth:`TelemetrySnapshot.capture`."""
+    return TelemetrySnapshot.capture(obs, baseline)
+
+
+def shard_track_prefix(index: int) -> str:
+    """The reserved track namespace for shard ``index`` of a plan."""
+    return f"shard{index}/"

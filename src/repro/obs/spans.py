@@ -132,6 +132,25 @@ class SpanRecorder:
         else:
             self.dropped_spans += 1
 
+    def adopt(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        track: str = "main",
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        """Append an already-finished span (a harvested worker span).
+
+        Bypasses the per-track stacks — adopted spans carry no parent
+        link — but respects ``max_spans`` bounding and drop accounting
+        exactly like locally recorded spans.
+        """
+        span = Span(name, start, dict(attrs) if attrs else None, None, track)
+        span.end = max(end, start)
+        self._keep(span)
+        return span
+
     @contextmanager
     def span(self, name: str, clock, track: str = "main", **attrs: object):
         """Context manager over anything exposing ``.now``."""

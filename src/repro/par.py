@@ -24,6 +24,13 @@ Two execution shapes:
   with a ``call``/``call_all``/``call_each`` protocol.  Used where
   shards must retain state across rounds (fleet ticks).
 
+When the ambient :class:`~repro.obs.hooks.Instrumentation` is armed,
+plans **harvest** worker telemetry (:mod:`repro.obs.harvest`): each
+shard runs under a fresh child instrumentation — in the worker *and* on
+the serial path — whose :class:`TelemetrySnapshot` is merged into the
+parent in shard order, so armed ``--workers N`` exports stay
+byte-identical to serial and nothing a worker measured is lost.
+
 ``workers=None`` everywhere means the legacy serial path — byte-for-byte
 the pre-parallel code — so committed baselines and CI stay valid; any
 ``workers >= 1`` goes through the engine (``--workers 1`` must equal
@@ -105,10 +112,28 @@ def _spawn_context():
     return multiprocessing.get_context("spawn")
 
 
-def _call_shard(fn: Callable, index: int, payload: object) -> object:
-    """Worker-side wrapper: tag any failure with its shard index."""
+def _call_shard(
+    fn: Callable, index: int, payload: object, spec=None
+) -> object:
+    """Worker-side wrapper: tag any failure with its shard index.
+
+    With a :class:`~repro.obs.harvest.HarvestSpec`, the shard runs under
+    a fresh armed child instrumentation and returns ``(result,
+    TelemetrySnapshot)`` — the parent merges the snapshot in shard order
+    so a ``--workers N`` run loses no telemetry.
+    """
     try:
-        return fn(payload)
+        if spec is None:
+            return fn(payload)
+        from .obs import harvest
+        from .obs import hooks as obs_hooks
+
+        child = spec.child()
+        with obs_hooks.use(child):
+            result = fn(payload)
+        return result, harvest.capture(child)
+    except ShardError:
+        raise
     except Exception as exc:
         raise ShardError(
             f"shard {index} failed: {type(exc).__name__}: {exc}",
@@ -145,27 +170,71 @@ class ParallelPlan:
         workers: Optional[int] = None,
         timeout_s: Optional[float] = None,
         label: str = "par",
+        harvest: bool = True,
     ) -> None:
         self.fn = fn
         self.payloads = list(payloads)
         self.workers = resolve_workers(workers)
         self.timeout_s = timeout_s
         self.label = label
+        #: harvest=False opts out of plan-level telemetry capture for
+        #: call sites whose shard fn manages its own instrumentation and
+        #: returns its own snapshots (the bench suite)
+        self.harvest = harvest
         self.stats = PlanStats()
 
     def run(self) -> List[object]:
+        from .obs import hooks as obs_hooks
+
         payloads = self.payloads
         self.stats = PlanStats(
             shards=len(payloads),
             parallel=self.workers is not None and len(payloads) > 0,
         )
+        obs = obs_hooks.current()
+        spec = self._harvest_spec(obs)
         if self.workers is None or not payloads:
-            return [self.fn(payload) for payload in payloads]
-        results = self._run_pool(payloads)
-        self._mirror()
+            results = self._run_serial(payloads, obs, spec)
+        else:
+            results = self._run_pool(payloads, obs, spec)
+        # mirrored on BOTH paths: armed serial and parallel runs must
+        # export identical par.* counters (the byte-parity contract)
+        self._mirror(obs)
         return results
 
-    def _run_pool(self, payloads: List[object]) -> List[object]:
+    def _harvest_spec(self, obs):
+        if not (self.harvest and obs.enabled):
+            return None
+        from .obs import harvest
+
+        return harvest.HarvestSpec.from_obs(obs)
+
+    def _run_serial(self, payloads, obs, spec) -> List[object]:
+        if spec is None:
+            return [self.fn(payload) for payload in payloads]
+        # Same per-shard child-capture-merge dance as the pool path, so
+        # serial and parallel armed runs accumulate float sums in the
+        # identical grouping and order (byte-identical exports).
+        return [
+            self._harvested_call(index, payload, obs, spec)
+            for index, payload in enumerate(payloads)
+        ]
+
+    def _harvested_call(self, index, payload, obs, spec) -> object:
+        from .obs import harvest
+        from .obs import hooks as obs_hooks
+
+        child = spec.child()
+        with obs_hooks.use(child):
+            result = self.fn(payload)
+        harvest.capture(child).merge_into(
+            obs, track_prefix=harvest.shard_track_prefix(index)
+        )
+        return result
+
+    def _run_pool(self, payloads: List[object], obs, spec) -> List[object]:
+        from .obs import harvest
+
         pool = ProcessPoolExecutor(
             max_workers=min(self.workers, len(payloads)),
             mp_context=_spawn_context(),
@@ -175,24 +244,39 @@ class ParallelPlan:
         hung = False
         try:
             futures = [
-                pool.submit(_call_shard, self.fn, index, payload)
+                pool.submit(_call_shard, self.fn, index, payload, spec)
                 for index, payload in enumerate(payloads)
             ]
             # Collect strictly in shard order: the merge is independent
             # of which worker finishes first.  Each shard's wait doubles
-            # as its wall-clock timeout window.
+            # as its wall-clock timeout window.  Snapshot merges happen
+            # inside this loop, so they land in shard order too.
             for index, future in enumerate(futures):
                 try:
-                    results[index] = future.result(timeout=self.timeout_s)
+                    value = future.result(timeout=self.timeout_s)
                 except (_FuturesTimeout, TimeoutError):
                     future.cancel()
                     hung = True
                     self.stats.timeouts += 1
                     # graceful degradation: re-execute the straggler's
                     # payload serially in the parent — same fn, same
-                    # payload, same deterministic result
-                    results[index] = self.fn(payloads[index])
+                    # payload, same deterministic result (harvested the
+                    # same way, so no telemetry is lost either)
+                    if spec is None:
+                        results[index] = self.fn(payloads[index])
+                    else:
+                        results[index] = self._harvested_call(
+                            index, payloads[index], obs, spec
+                        )
                     self.stats.serial_fallbacks += 1
+                    continue
+                if spec is None:
+                    results[index] = value
+                else:
+                    results[index], snapshot = value
+                    snapshot.merge_into(
+                        obs, track_prefix=harvest.shard_track_prefix(index)
+                    )
         except ShardError:
             # partial results are discarded: the caller sees only the
             # failure, never a half-merged document
@@ -202,10 +286,11 @@ class ParallelPlan:
             pool.shutdown(wait=not hung, cancel_futures=True)
         return results
 
-    def _mirror(self) -> None:
-        from .obs import hooks as obs_hooks
+    def _mirror(self, obs=None) -> None:
+        if obs is None:
+            from .obs import hooks as obs_hooks
 
-        obs = obs_hooks.current()
+            obs = obs_hooks.current()
         if not obs.enabled:
             return
         registry = obs.registry
@@ -224,10 +309,12 @@ def run_sharded(
     workers: Optional[int] = None,
     timeout_s: Optional[float] = None,
     label: str = "par",
+    harvest: bool = True,
 ) -> List[object]:
     """One-shot :class:`ParallelPlan` (the common call-site shape)."""
     return ParallelPlan(
-        fn, payloads, workers=workers, timeout_s=timeout_s, label=label
+        fn, payloads, workers=workers, timeout_s=timeout_s, label=label,
+        harvest=harvest,
     ).run()
 
 

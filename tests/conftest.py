@@ -9,6 +9,17 @@ from repro.device import make_device
 from repro.fs import make_filesystem
 
 
+@pytest.fixture(autouse=True)
+def _ledger_in_tmp(tmp_path, monkeypatch):
+    """Route run-ledger writes into the test's tmp dir.
+
+    Document verbs append manifests to benchmarks/ledger by default;
+    tests must never grow the working tree.  Ledger tests override via
+    an explicit directory argument.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture
 def optane():
     return make_device("optane", capacity=1 * GIB)

@@ -3,13 +3,21 @@
 One scaled experiment run twice — obs fully enabled (metrics, spans,
 sampler-bearing paths) vs the null facade — must produce bit-identical
 results: instrumentation reads the timeline, it never advances it.
+
+The second guard is the harvest parity property: with obs armed, a
+``--workers N`` run must export **byte-identical** metrics JSON,
+Prometheus text, and Chrome traces to the serial run — worker-side
+telemetry is captured per shard and merged in shard order, and the
+serial path performs the same capture-merge dance.
 """
+
+import json
 
 import pytest
 
 from repro.bench.experiments import synthetic_defrag
 from repro.constants import MIB
-from repro.obs import hooks
+from repro.obs import export, hooks
 from repro.obs.hooks import Instrumentation
 
 
@@ -73,4 +81,59 @@ def test_arming_provenance_is_bit_identical():
     assert sample is not None and sample.provenance is not None
     assert sample.provenance["layer_crossing"] > 0
     assert sample.provenance["commands"] > 0
+
+
+# ----------------------------------------------------------------------
+# armed parity: serial vs --workers exports must match byte for byte
+# ----------------------------------------------------------------------
+
+def _renderings(obs):
+    return (
+        export.metrics_json(obs.registry),
+        export.prometheus_text(obs.registry),
+        json.dumps(export.chrome_trace(obs.spans, obs.registry)),
+    )
+
+
+def test_armed_fleet_smoke_exports_byte_identical_serial_vs_workers():
+    from repro.fleet.controller import run_fleet
+    from repro.fleet.spec import FleetConfig
+
+    def run(workers):
+        obs = Instrumentation()
+        with hooks.use(obs):
+            report = run_fleet(FleetConfig.smoke(volumes=4), workers=workers)
+        return report, obs
+
+    serial_report, serial_obs = run(None)
+    par_report, par_obs = run(2)
+    assert par_report.fingerprint == serial_report.fingerprint
+    assert _renderings(par_obs) == _renderings(serial_obs)
+    # the merged plane is populated: per-volume tracks, fleet counters
+    metrics = serial_obs.registry.to_dict()
+    assert metrics["fleet.jobs_completed"]["value"] >= 1
+    assert metrics["obs.harvest.snapshots"]["value"] == 4  # one per volume
+    tracks = {s.track for s in serial_obs.spans.finished_spans()}
+    assert any(track.startswith("vol0000/") for track in tracks)
+
+
+def test_armed_bench_smoke_exports_byte_identical_serial_vs_workers():
+    from repro.bench.suite import run_suite
+
+    def run(workers):
+        obs = Instrumentation()
+        with hooks.use(obs):
+            document, _ = run_suite(smoke=True, obs=obs, workers=workers)
+        return document, obs
+
+    serial_doc, serial_obs = run(None)
+    par_doc, par_obs = run(2)
+    assert json.dumps(par_doc, sort_keys=True) == json.dumps(
+        serial_doc, sort_keys=True
+    )
+    assert _renderings(par_obs) == _renderings(serial_obs)
+    # worker figures merged onto per-shard tracks
+    metrics = serial_obs.registry.to_dict()
+    assert metrics["obs.harvest.snapshots"]["value"] == 3  # 2 devices + fsrv
+    assert metrics["block.requests"]["value"] > 0
 

@@ -218,3 +218,40 @@ def test_prometheus_help_keeps_byte_determinism():
 
     assert (build(["fleet.fg_ops", "slo.alerts", "fs.syscall.read"])
             == build(["fs.syscall.read", "fleet.fg_ops", "slo.alerts"]))
+
+
+def test_every_metric_from_a_representative_armed_run_has_help():
+    """The METRIC_HELP audit: a fully-armed fleet run (faults, SLO,
+    provenance — the widest metric surface one verb produces) must not
+    emit a single metric the central HELP table cannot describe, and the
+    Prometheus rendering must carry a # HELP line for every # TYPE."""
+    from repro.fleet.controller import run_fleet
+    from repro.fleet.slo import FleetSlo
+    from repro.fleet.spec import FleetConfig
+    from repro.obs import hooks
+    from repro.obs.export import metric_help
+    from repro.obs.hooks import Instrumentation
+
+    obs = Instrumentation(provenance=True)
+    config = FleetConfig.smoke(volumes=4, faults=True)
+    with hooks.use(obs):
+        run_fleet(config, slo=FleetSlo.for_config(config))
+    names = set(obs.registry.to_dict())
+    assert len(names) > 40  # the run exercised a wide surface
+    missing = sorted(name for name in names if metric_help(name) is None)
+    assert missing == []
+
+    lines = prometheus_text(obs.registry).splitlines()
+    documented = {l.split()[2] for l in lines if l.startswith("# HELP")}
+    typed = {l.split()[2] for l in lines if l.startswith("# TYPE")}
+    assert typed == documented
+
+    # glob patterns resolve via fnmatch: multi-star families included
+    assert metric_help("device.optane.command_latency.read") is not None
+    assert metric_help("attrib.fs_cpu_s") is not None
+    assert metric_help("fragpicker.migration_retries") is not None
+    assert metric_help("e4defrag.migrations_failed") is not None
+    assert metric_help("sim.actor_step.fg") is not None
+    assert metric_help("faults.injected.device_io.transient") is not None
+    assert metric_help("obs.harvest.snapshots") is not None
+    assert metric_help("obs.events_dropped") is not None

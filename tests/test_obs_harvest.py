@@ -1,0 +1,225 @@
+"""The cross-process telemetry harvest: capture, merge, and parity.
+
+Unit-level: TelemetrySnapshot must carry metrics in raw (mergeable)
+form, land worker spans/events on namespaced tracks, keep drop tallies,
+and re-base provenance pids.  Plan-level: an armed parent must export
+byte-identical telemetry whether a plan ran serially or across spawned
+workers — the property every armed ``--workers N`` verb rests on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import export, harvest
+from repro.obs import hooks as obs_hooks
+from repro.obs.harvest import SNAPSHOTS_MERGED, HarvestSpec, TelemetrySnapshot
+from repro.obs.hooks import Instrumentation
+from repro.par import run_sharded
+
+
+# ----------------------------------------------------------------------
+# module-level shard functions (must pickle into spawn workers)
+# ----------------------------------------------------------------------
+
+def _emit(x):
+    """One shard's worth of telemetry: metrics, a span, a ring event."""
+    obs = obs_hooks.current()
+    obs.registry.counter("t.count").inc(x + 1)
+    gauge = obs.registry.gauge("t.depth")
+    gauge.set(float(x + 3))
+    gauge.set(float(x))
+    obs.registry.histogram("t.lat", bounds=(0.1, 1.0)).observe(0.05 * (x + 1))
+    obs.spans.adopt("t.work", 0.0, float(x + 1), attrs={"shard": x})
+    obs.spans.event("t.tick", float(x), tag=x)
+    return x * x
+
+
+def _square(x):
+    return x * x
+
+
+def _nested(x):
+    """A shard that itself fans out: its inner plan's par.* counters and
+    harvest merges happen worker-side and must surface in the parent."""
+    return sum(run_sharded(_square, [x, x + 1]))
+
+
+# ----------------------------------------------------------------------
+# snapshot capture
+# ----------------------------------------------------------------------
+
+def test_capture_carries_metrics_spans_events_in_raw_form():
+    obs = Instrumentation()
+    with obs_hooks.use(obs):
+        _emit(2)
+    snapshot = harvest.capture(obs)
+    assert ("t.count", 3.0) in snapshot.counters
+    assert ("t.depth", 2.0, 5.0) in snapshot.gauges
+    (name, bounds, counts, count, total, max_value) = next(
+        h for h in snapshot.histograms if h[0] == "t.lat"
+    )
+    assert bounds == (0.1, 1.0)
+    assert count == 1 and counts[1] == 1  # 0.15 lands in the second bucket
+    assert snapshot.spans == [("t.work", 0.0, 3.0, "main", {"shard": 2})]
+    assert snapshot.events == [("t.tick", 2.0, "main", {"tag": 2})]
+    assert not snapshot.empty()
+
+
+def test_capture_delta_over_baseline():
+    obs = Instrumentation()
+    obs.registry.counter("t.count").inc(10)
+    baseline = obs.registry.snapshot()
+    obs.registry.counter("t.count").inc(4)
+    snapshot = harvest.capture(obs, baseline)
+    assert ("t.count", 4.0) in snapshot.counters
+
+
+def test_harvest_spec_mirrors_parent_configuration():
+    parent = Instrumentation(max_spans=7, max_events=16, provenance=True)
+    child = HarvestSpec.from_obs(parent).child()
+    assert child.spans.max_spans == 7
+    assert child.spans.events.maxlen == 16
+    assert child.provenance is not None
+    plain = harvest.child_of(Instrumentation())
+    assert plain.provenance is None
+
+
+# ----------------------------------------------------------------------
+# snapshot merge
+# ----------------------------------------------------------------------
+
+def test_merge_sums_counters_and_keeps_gauge_peak():
+    parent = Instrumentation()
+    parent.registry.counter("t.count").inc(5)
+    gauge = parent.registry.gauge("t.depth")
+    gauge.set(3.0)
+
+    worker = Instrumentation()
+    with obs_hooks.use(worker):
+        _emit(1)  # counter +2, gauge value 1 / peak 4
+    harvest.capture(worker).merge_into(parent, track_prefix="shard0/")
+
+    metrics = parent.registry.to_dict()
+    assert metrics["t.count"]["value"] == 7.0
+    assert metrics["t.depth"]["value"] == 1.0  # last shard's reading
+    assert metrics["t.depth"]["peak"] == 4.0  # true cross-shard peak
+    assert metrics[SNAPSHOTS_MERGED]["value"] == 1
+    # spans/events landed on the namespaced track, drops carried (none)
+    assert [s.track for s in parent.spans.finished_spans()] == ["shard0/main"]
+    assert [e.track for e in parent.spans.events] == ["shard0/main"]
+
+
+def test_merge_adds_histograms_bucket_wise_and_rejects_bounds_mismatch():
+    parent = Instrumentation()
+    parent.registry.histogram("t.lat", bounds=(0.1, 1.0)).observe(0.5)
+    worker = Instrumentation()
+    worker.registry.histogram("t.lat", bounds=(0.1, 1.0)).observe(0.05)
+    worker.registry.histogram("t.lat", bounds=(0.1, 1.0)).observe(2.0)
+    harvest.capture(worker).merge_into(parent)
+    hist = parent.registry.histogram("t.lat")
+    assert hist.count == 3
+    assert hist.max_value == 2.0
+    assert hist.total == pytest.approx(2.55)
+
+    mismatched = Instrumentation()
+    mismatched.registry.histogram("t.lat", bounds=(0.5,)).observe(0.2)
+    with pytest.raises(ValueError, match="bounds"):
+        harvest.capture(mismatched).merge_into(parent)
+
+
+def test_merge_applies_time_base_and_drop_tallies():
+    parent = Instrumentation()
+    snapshot = TelemetrySnapshot(
+        spans=[("t.work", 1.0, 2.0, "main", {})],
+        events=[("t.tick", 1.5, "main", {})],
+        dropped_spans=3,
+        dropped_events=8,
+    )
+    snapshot.merge_into(parent, track_prefix="shard4/", time_base=10.0)
+    (span,) = parent.spans.finished_spans()
+    assert (span.start, span.end, span.track) == (11.0, 12.0, "shard4/main")
+    (event,) = parent.spans.events
+    assert (event.time, event.track) == (11.5, "shard4/main")
+    assert parent.spans.dropped_spans == 3
+    assert parent.spans.dropped_events == 8
+
+
+def test_merge_rebases_provenance_pids_past_parent_minted():
+    parent = Instrumentation(provenance=True)
+    for _ in range(4):
+        parent.provenance.mint()
+    snapshot = TelemetrySnapshot(
+        events=[
+            ("prov.syscall", 0.5, "prov.fs", {"pid": 2, "op": "read"}),
+            ("t.tick", 0.6, "main", {"pid": 0}),  # untracked: untouched
+        ],
+        provenance_minted=2,
+    )
+    snapshot.merge_into(parent)
+    assert parent.provenance.minted == 6
+    prov_event, plain_event = parent.spans.events
+    assert prov_event.attrs["pid"] == 6  # 2 shifted past the parent's 4
+    assert plain_event.attrs["pid"] == 0
+
+
+def test_merge_into_disabled_obs_is_a_no_op():
+    null = obs_hooks.NULL
+    snapshot = TelemetrySnapshot(counters=[("t.count", 1.0)])
+    snapshot.merge_into(null)  # must not raise, must not record
+
+
+# ----------------------------------------------------------------------
+# plan-level parity: armed serial == armed workers
+# ----------------------------------------------------------------------
+
+def _run_plan(workers):
+    obs = Instrumentation()
+    with obs_hooks.use(obs):
+        results = run_sharded(_emit, [0, 1, 2], workers=workers, label="t")
+    return results, obs
+
+
+def _renderings(obs):
+    return (
+        export.metrics_json(obs.registry),
+        export.prometheus_text(obs.registry),
+        json.dumps(export.chrome_trace(obs.spans, obs.registry)),
+    )
+
+
+def test_armed_plan_is_byte_identical_serial_vs_workers():
+    serial_results, serial_obs = _run_plan(None)
+    par_results, par_obs = _run_plan(2)
+    assert par_results == serial_results == [0, 1, 4]
+    assert _renderings(par_obs) == _renderings(serial_obs)
+    # the merged plane actually carries every shard's telemetry
+    metrics = serial_obs.registry.to_dict()
+    assert metrics["t.count"]["value"] == 6.0
+    assert metrics[SNAPSHOTS_MERGED]["value"] == 3
+    tracks = {s.track for s in serial_obs.spans.finished_spans()}
+    assert tracks == {"shard0/main", "shard1/main", "shard2/main"}
+
+
+def test_worker_side_par_counters_surface_in_parent_export():
+    obs = Instrumentation()
+    with obs_hooks.use(obs):
+        results = run_sharded(_nested, [1, 2], workers=2)
+    assert results == [1 + 4, 4 + 9]
+    metrics = obs.registry.to_dict()
+    # one outer plan mirrored by the parent + one inner (worker-side,
+    # serial) plan per shard, harvested back through the snapshot
+    assert metrics["par.plans"]["value"] == 3
+    assert metrics["par.shards"]["value"] == 2 + 4
+    # inner merges counted worker-side (2 per shard) ride back as
+    # counters, plus one increment per outer snapshot merge
+    assert metrics[SNAPSHOTS_MERGED]["value"] == 6
+    assert export.metric_help("par.shards") is not None
+
+
+def test_unarmed_parent_skips_harvest_entirely():
+    results = run_sharded(_square, [2, 3], workers=None)
+    assert results == [4, 9]
+    assert obs_hooks.current() is obs_hooks.NULL
